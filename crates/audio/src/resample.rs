@@ -1,0 +1,217 @@
+//! Sample-rate conversion.
+//!
+//! The paper's testbed mixed platforms (Geode thin clients, a SUN Ultra
+//! 10, §3.4) and its protocol carries arbitrary stream rates in the
+//! control packet; a speaker whose DAC runs at a fixed rate must
+//! resample. Two converters are provided: cheap linear interpolation
+//! (what an embedded ES would run) and a windowed-sinc polyphase
+//! converter for quality-sensitive paths and as the reference in tests.
+
+use core::f64::consts::PI;
+
+/// Converts `input` (mono) from `from_rate` to `to_rate` by linear
+/// interpolation. Cheap, slightly lossy in the top octave.
+pub fn resample_linear(input: &[i16], from_rate: u32, to_rate: u32) -> Vec<i16> {
+    assert!(from_rate > 0 && to_rate > 0, "rates must be non-zero");
+    if from_rate == to_rate || input.is_empty() {
+        return input.to_vec();
+    }
+    let out_len = (input.len() as u64 * to_rate as u64 / from_rate as u64) as usize;
+    let mut out = Vec::with_capacity(out_len);
+    let step = from_rate as f64 / to_rate as f64;
+    for i in 0..out_len {
+        let pos = i as f64 * step;
+        let i0 = pos as usize;
+        let frac = pos - i0 as f64;
+        let a = input[i0.min(input.len() - 1)] as f64;
+        let b = input[(i0 + 1).min(input.len() - 1)] as f64;
+        out.push((a + (b - a) * frac).round() as i16);
+    }
+    out
+}
+
+/// Converts `input` (mono) with a Kaiser-free Hann-windowed sinc kernel
+/// (16 taps per side). Much flatter passband than linear; used as the
+/// quality reference.
+pub fn resample_sinc(input: &[i16], from_rate: u32, to_rate: u32) -> Vec<i16> {
+    assert!(from_rate > 0 && to_rate > 0, "rates must be non-zero");
+    if from_rate == to_rate || input.is_empty() {
+        return input.to_vec();
+    }
+    const TAPS: isize = 16;
+    let out_len = (input.len() as u64 * to_rate as u64 / from_rate as u64) as usize;
+    let step = from_rate as f64 / to_rate as f64;
+    // When downsampling, the kernel must cut at the *output* Nyquist.
+    let cutoff = (to_rate as f64 / from_rate as f64).min(1.0);
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let center = i as f64 * step;
+        let base = center.floor() as isize;
+        let mut acc = 0.0f64;
+        let mut norm = 0.0f64;
+        for t in (base - TAPS + 1)..=(base + TAPS) {
+            if t < 0 || t as usize >= input.len() {
+                continue;
+            }
+            let x = center - t as f64;
+            let sinc = if x.abs() < 1e-12 {
+                1.0
+            } else {
+                let v = PI * x * cutoff;
+                v.sin() / v
+            };
+            // Hann window over the kernel span.
+            let w = 0.5 + 0.5 * (PI * x / TAPS as f64).cos();
+            let k = sinc * w * cutoff;
+            acc += input[t as usize] as f64 * k;
+            norm += k;
+        }
+        // Normalizing by the kernel sum keeps DC gain at unity even at
+        // the edges where taps fall off the signal.
+        let v = if norm.abs() > 1e-9 { acc / norm } else { acc };
+        out.push(v.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16);
+    }
+    out
+}
+
+/// Resamples interleaved multichannel audio with the linear converter.
+pub fn resample_interleaved(input: &[i16], channels: u8, from_rate: u32, to_rate: u32) -> Vec<i16> {
+    assert!(channels >= 1, "need at least one channel");
+    let ch = channels as usize;
+    assert!(input.len().is_multiple_of(ch), "torn final frame");
+    if from_rate == to_rate {
+        return input.to_vec();
+    }
+    // Deinterleave, convert per channel, reinterleave.
+    let frames = input.len() / ch;
+    let mut planes: Vec<Vec<i16>> = vec![Vec::with_capacity(frames); ch];
+    for f in 0..frames {
+        for c in 0..ch {
+            planes[c].push(input[f * ch + c]);
+        }
+    }
+    let converted: Vec<Vec<i16>> = planes
+        .iter()
+        .map(|p| resample_linear(p, from_rate, to_rate))
+        .collect();
+    let out_frames = converted[0].len();
+    let mut out = Vec::with_capacity(out_frames * ch);
+    for f in 0..out_frames {
+        for plane in &converted {
+            out.push(plane[f]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{rms, snr_db};
+    use crate::gen::{render_interleaved, Sine};
+
+    fn tone(freq: f32, rate: u32, secs: f64) -> Vec<i16> {
+        let mut s = Sine::new(freq, rate, 0.6);
+        render_interleaved(&mut s, 1, (rate as f64 * secs) as usize)
+    }
+
+    #[test]
+    fn identity_when_rates_match() {
+        let x = tone(440.0, 44_100, 0.1);
+        assert_eq!(resample_linear(&x, 44_100, 44_100), x);
+        assert_eq!(resample_sinc(&x, 44_100, 44_100), x);
+    }
+
+    #[test]
+    fn output_length_scales_with_ratio() {
+        let x = tone(440.0, 44_100, 0.5);
+        let up = resample_linear(&x, 44_100, 48_000);
+        let down = resample_linear(&x, 44_100, 8_000);
+        assert_eq!(up.len(), x.len() * 48_000 / 44_100);
+        assert_eq!(down.len(), x.len() * 8_000 / 44_100);
+    }
+
+    #[test]
+    fn tone_survives_conversion_roundtrip() {
+        // 44.1k -> 48k -> 44.1k must preserve a mid-band tone well.
+        let x = tone(1_000.0, 44_100, 0.5);
+        type Conv = fn(&[i16], u32, u32) -> Vec<i16>;
+        let converters: [(Conv, &str); 2] = [(resample_linear, "linear"), (resample_sinc, "sinc")];
+        for (convert, name) in converters {
+            let y = convert(&x, 44_100, 48_000);
+            let z = convert(&y, 48_000, 44_100);
+            let n = x.len().min(z.len()) - 100;
+            let snr = snr_db(&x[50..n], &z[50..n]).unwrap();
+            let floor = if name == "linear" { 25.0 } else { 40.0 };
+            assert!(snr > floor, "{name}: roundtrip SNR {snr} dB");
+        }
+    }
+
+    #[test]
+    fn sinc_beats_linear_near_nyquist() {
+        // A 15 kHz tone upsampled 44.1k -> 48k: linear interpolation
+        // rolls it off and distorts; sinc keeps it.
+        let x = tone(15_000.0, 44_100, 0.3);
+        let reference = tone(15_000.0, 48_000, 0.3);
+        let lin = resample_linear(&x, 44_100, 48_000);
+        let sinc = resample_sinc(&x, 44_100, 48_000);
+        // Compare band energy: the tone's RMS should be preserved.
+        let target = rms(&reference);
+        let lin_err = (rms(&lin) - target).abs();
+        let sinc_err = (rms(&sinc) - target).abs();
+        assert!(
+            sinc_err < lin_err,
+            "sinc RMS error {sinc_err} vs linear {lin_err}"
+        );
+    }
+
+    #[test]
+    fn downsampling_does_not_explode() {
+        let x = tone(300.0, 44_100, 0.3);
+        let y = resample_sinc(&x, 44_100, 8_000);
+        let peak_in = x.iter().map(|&v| v.abs()).max().unwrap();
+        let peak_out = y.iter().map(|&v| v.abs()).max().unwrap();
+        assert!(peak_out <= peak_in + peak_in / 5, "{peak_out} vs {peak_in}");
+        // And a 300 Hz tone survives an 8 kHz rate easily.
+        assert!(rms(&y) > rms(&x) * 0.7);
+    }
+
+    #[test]
+    fn interleaved_preserves_channel_identity() {
+        // Left = 440 Hz, right = silence; after conversion right must
+        // stay silent.
+        let mut l = Sine::new(440.0, 44_100, 0.5);
+        let frames = 4_410;
+        let mut input = Vec::with_capacity(frames * 2);
+        for _ in 0..frames {
+            input.push(crate::gen::f32_to_i16(crate::gen::Signal::next_sample(
+                &mut l,
+            )));
+            input.push(0i16);
+        }
+        let out = resample_interleaved(&input, 2, 44_100, 48_000);
+        assert_eq!(out.len() % 2, 0);
+        let right_peak = out
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .map(|&v| v.abs())
+            .max()
+            .unwrap();
+        assert_eq!(right_peak, 0, "channel bleed");
+        let left_rms = rms(&out.iter().step_by(2).copied().collect::<Vec<_>>());
+        assert!(left_rms > 0.2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(resample_linear(&[], 44_100, 48_000).is_empty());
+        assert!(resample_sinc(&[], 8_000, 48_000).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_rate_panics() {
+        let _ = resample_linear(&[0], 0, 48_000);
+    }
+}

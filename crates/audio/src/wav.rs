@@ -1,0 +1,244 @@
+//! Minimal RIFF/WAVE reading and writing (16-bit PCM only).
+//!
+//! Used by the examples to persist what a simulated speaker played (so
+//! a human can actually listen to a run) and to feed file-based audio
+//! through the VAD for the time-shifting use case (§3.3: "applications
+//! may be developed to process the audio stream (e.g., time-shifting
+//! Internet radio transmissions)").
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Errors from WAV parsing.
+#[derive(Debug)]
+pub enum WavError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or unsupported file.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for WavError {
+    fn from(e: io::Error) -> Self {
+        WavError::Io(e)
+    }
+}
+
+impl core::fmt::Display for WavError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WavError::Io(e) => write!(f, "wav i/o error: {e}"),
+            WavError::Malformed(why) => write!(f, "malformed wav: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WavError {}
+
+/// A decoded 16-bit PCM WAV file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavData {
+    /// Samples per second.
+    pub sample_rate: u32,
+    /// Interleaved channel count.
+    pub channels: u8,
+    /// Interleaved samples.
+    pub samples: Vec<i16>,
+}
+
+impl WavData {
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        if self.channels == 0 || self.sample_rate == 0 {
+            return 0.0;
+        }
+        self.samples.len() as f64 / self.channels as f64 / self.sample_rate as f64
+    }
+}
+
+/// Serializes interleaved 16-bit samples as a WAV byte vector.
+pub fn encode_wav(sample_rate: u32, channels: u8, samples: &[i16]) -> Vec<u8> {
+    let data_len = (samples.len() * 2) as u32;
+    let byte_rate = sample_rate * channels as u32 * 2;
+    let block_align = channels as u16 * 2;
+    let mut out = Vec::with_capacity(44 + samples.len() * 2);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_len).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM
+    out.extend_from_slice(&(channels as u16).to_le_bytes());
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&byte_rate.to_le_bytes());
+    out.extend_from_slice(&block_align.to_le_bytes());
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&data_len.to_le_bytes());
+    for &s in samples {
+        out.extend_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+/// Parses a 16-bit PCM WAV byte slice.
+pub fn decode_wav(bytes: &[u8]) -> Result<WavData, WavError> {
+    if bytes.len() < 12 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(WavError::Malformed("missing RIFF/WAVE header"));
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // format, channels, rate, bits
+    let mut data: Option<&[u8]> = None;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let len = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]) as usize;
+        let body_start = pos + 8;
+        let body_end = body_start
+            .checked_add(len)
+            .ok_or(WavError::Malformed("chunk overflow"))?;
+        if body_end > bytes.len() {
+            return Err(WavError::Malformed("truncated chunk"));
+        }
+        let body = &bytes[body_start..body_end];
+        match id {
+            b"fmt " => {
+                if len < 16 {
+                    return Err(WavError::Malformed("short fmt chunk"));
+                }
+                fmt = Some((
+                    u16::from_le_bytes([body[0], body[1]]),
+                    u16::from_le_bytes([body[2], body[3]]),
+                    u32::from_le_bytes([body[4], body[5], body[6], body[7]]),
+                    u16::from_le_bytes([body[14], body[15]]),
+                ));
+            }
+            b"data" => data = Some(body),
+            _ => {} // Skip LIST/INFO and friends.
+        }
+        // Chunks are word-aligned.
+        pos = body_end + (len & 1);
+    }
+    let (format, channels, rate, bits) = fmt.ok_or(WavError::Malformed("no fmt chunk"))?;
+    if format != 1 {
+        return Err(WavError::Malformed("not PCM"));
+    }
+    if bits != 16 {
+        return Err(WavError::Malformed("only 16-bit PCM supported"));
+    }
+    if channels == 0 || channels > 8 {
+        return Err(WavError::Malformed("bad channel count"));
+    }
+    let data = data.ok_or(WavError::Malformed("no data chunk"))?;
+    let samples = data
+        .chunks_exact(2)
+        .map(|c| i16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    Ok(WavData {
+        sample_rate: rate,
+        channels: channels as u8,
+        samples,
+    })
+}
+
+/// Writes a WAV file to disk.
+pub fn write_wav(
+    path: impl AsRef<Path>,
+    sample_rate: u32,
+    channels: u8,
+    samples: &[i16],
+) -> Result<(), WavError> {
+    let mut f = File::create(path)?;
+    f.write_all(&encode_wav(sample_rate, channels, samples))?;
+    Ok(())
+}
+
+/// Reads a WAV file from disk.
+pub fn read_wav(path: impl AsRef<Path>) -> Result<WavData, WavError> {
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    decode_wav(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let samples: Vec<i16> = (0..1_000)
+            .map(|i| (i * 31 % 20_000) as i16 - 10_000)
+            .collect();
+        let bytes = encode_wav(44_100, 2, &samples);
+        let wav = decode_wav(&bytes).unwrap();
+        assert_eq!(wav.sample_rate, 44_100);
+        assert_eq!(wav.channels, 2);
+        assert_eq!(wav.samples, samples);
+        assert!((wav.duration_secs() - 500.0 / 44_100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("es_wav_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.wav");
+        let samples = vec![1i16, -1, 100, -100];
+        write_wav(&path, 8_000, 1, &samples).unwrap();
+        let wav = read_wav(&path).unwrap();
+        assert_eq!(wav.samples, samples);
+        assert_eq!(wav.sample_rate, 8_000);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_wav(b"not a wav").is_err());
+        assert!(
+            decode_wav(b"RIFF\x00\x00\x00\x00WAVE").is_err(),
+            "no chunks"
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_formats() {
+        // Build a valid file then corrupt specific fields.
+        let bytes = encode_wav(8_000, 1, &[0i16; 4]);
+        let mut not_pcm = bytes.clone();
+        not_pcm[20] = 3; // IEEE float
+        assert!(matches!(
+            decode_wav(&not_pcm),
+            Err(WavError::Malformed("not PCM"))
+        ));
+        let mut bad_bits = bytes.clone();
+        bad_bits[34] = 8;
+        assert!(matches!(
+            decode_wav(&bad_bits),
+            Err(WavError::Malformed("only 16-bit PCM supported"))
+        ));
+        let mut truncated = bytes;
+        truncated.truncate(30);
+        assert!(decode_wav(&truncated).is_err());
+    }
+
+    #[test]
+    fn skips_unknown_chunks() {
+        // Hand-build: RIFF [JUNK 2 bytes] [fmt] [data].
+        let inner = encode_wav(8_000, 1, &[7i16, -7]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RIFF");
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // size: unchecked
+        bytes.extend_from_slice(b"WAVE");
+        bytes.extend_from_slice(b"JUNK");
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0]); // 3 bytes + pad
+        bytes.extend_from_slice(&inner[12..]); // fmt + data chunks
+        let wav = decode_wav(&bytes).unwrap();
+        assert_eq!(wav.samples, vec![7, -7]);
+    }
+}

@@ -1,0 +1,29 @@
+//! E-AVOL: §5.2 — ambient-noise automatic volume: announcements get
+//! louder in noise, background music turns down in silence.
+//!
+//! Run: `cargo bench -p es-bench --bench exp_autovolume`
+
+use es_bench::{avol_exp, report};
+
+fn main() {
+    let seconds = report::run_seconds(30);
+    println!("== E-AVOL: automatic volume (§5.2, {seconds}s) ==\n");
+    let r = avol_exp::run_announcement(seconds, 13);
+    let (music_normal, music_silent) = avol_exp::run_music(seconds, 13);
+    let rows = vec![
+        vec![
+            "announcement, quiet room".into(),
+            report::f1(r.quiet_gain_db),
+        ],
+        vec!["announcement, loud room".into(), report::f1(r.loud_gain_db)],
+        vec!["music, normal room".into(), report::f1(music_normal)],
+        vec!["music, silent room".into(), report::f1(music_silent)],
+    ];
+    println!("{}", report::table(&["scenario", "gain dB"], &rows));
+    println!();
+    report::print_series(&r.gain_db_series);
+    println!("paper: \"for background music the ES would lower the volume if");
+    println!("the area is quiet ... if an announcement is being made, then");
+    println!("the volume should be increased if there is a lot of background");
+    println!("noise\" (§5.2).");
+}

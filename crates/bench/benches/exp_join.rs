@@ -1,0 +1,37 @@
+//! E-JOIN: tune-in latency versus control interval — the cost of §2.3's
+//! stateless "radio" design, and the knob that controls it.
+//!
+//! Run: `cargo bench -p es-bench --bench exp_join`
+
+use es_bench::{join_exp, report};
+
+fn main() {
+    println!("== E-JOIN: join latency vs control interval (§2.3) ==\n");
+    let rows: Vec<Vec<String>> = join_exp::sweep(6, 3)
+        .into_iter()
+        .map(|r| {
+            vec![
+                format!("{} ms", r.control_interval_ms),
+                report::f2(r.mean_join_s),
+                report::f2(r.max_join_s),
+                format!("{:.1}%", r.control_packet_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        report::table(
+            &[
+                "control interval",
+                "mean join s",
+                "max join s",
+                "control pkt share"
+            ],
+            &rows
+        )
+    );
+    println!("\"The Ethernet Speaker has to wait till it receives a control");
+    println!("packet before it can start playing\" — mean join latency is");
+    println!("about half the control interval plus the playout delay; the");
+    println!("price of short intervals is control-packet overhead.");
+}

@@ -1,0 +1,39 @@
+//! E-RATE: §3.1 — "why does a 5 minute song take 5 minutes?" With the
+//! limiter a clip takes its own duration on the wire and plays
+//! completely; without it the clip bursts at wire speed and only the
+//! first few seconds are heard.
+//!
+//! Run: `cargo bench -p es-bench --bench exp_rate_limiter`
+
+use es_bench::{rate_exp, report};
+
+fn main() {
+    let clip = report::run_seconds(60);
+    println!("== E-RATE: the rate limiter ({clip}s clip, wire-speed player) ==\n");
+    let mut rows = Vec::new();
+    for limited in [true, false] {
+        let r = rate_exp::run(limited, clip, 5);
+        rows.push(vec![
+            if limited { "limiter ON" } else { "limiter OFF" }.to_string(),
+            report::f1(r.send_span_secs),
+            report::f1(r.played_seconds),
+            r.dropped_packets.to_string(),
+            r.dropped_late.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &[
+                "configuration",
+                "send span s",
+                "played s",
+                "dropped (busy)",
+                "dropped (late)"
+            ],
+            &rows
+        )
+    );
+    println!("paper: without rate limiting \"you will only hear the first");
+    println!("few seconds of the song\" (§3.1).");
+}

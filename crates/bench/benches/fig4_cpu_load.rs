@@ -1,0 +1,40 @@
+//! Regenerates Figure 4: "Userland CPU Usage vs. Time" for four and
+//! eight compressed CD-quality streams on the Geode-class CPU model.
+//!
+//! Run: `cargo bench -p es-bench --bench fig4_cpu_load`
+//! (set `ES_BENCH_QUICK=1` for a short run).
+
+use es_bench::{calib, fig4, report};
+
+fn main() {
+    let seconds = report::run_seconds(calib::RUN_SECONDS);
+    println!("== Figure 4: compression impact on CPU load ==");
+    println!(
+        "4 and 8 CD-quality stereo streams, OVL quality 10, {} MHz CPU, {seconds}s window\n",
+        calib::GEODE_HZ / 1_000_000
+    );
+    let mut rows = Vec::new();
+    let mut all_series = Vec::new();
+    for streams in [4usize, 8] {
+        let run = fig4::run(streams, seconds, 42);
+        rows.push(vec![
+            format!("{} Streams", run.streams),
+            report::f1(run.mean),
+            report::f1(run.max),
+            match run.streams {
+                4 => "rising load, headroom left".to_string(),
+                _ => "approaching saturation".to_string(),
+            },
+        ]);
+        all_series.push(run.series);
+    }
+    println!(
+        "{}",
+        report::table(&["series", "mean CPU %", "max CPU %", "paper shape"], &rows)
+    );
+    println!("paper: 8-stream line roughly doubles the 4-stream line and");
+    println!("pushes toward 100% on the 233 MHz Geode (Figure 4).\n");
+    for s in &all_series {
+        report::print_series(s);
+    }
+}

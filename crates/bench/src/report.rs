@@ -1,0 +1,112 @@
+//! Table and series rendering shared by the bench harnesses.
+//!
+//! Every harness prints (a) a human-readable table of the quantities
+//! the paper reports and (b) the raw `time value` series rows a plotter
+//! can consume — the same shape as the paper's gnuplot figures.
+
+use es_sim::TimeSeries;
+
+/// Renders a fixed-width table: header row + data rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", c, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Prints a series as labelled gnuplot-style rows.
+pub fn print_series(series: &TimeSeries) {
+    println!("# series: {}", series.name());
+    print!("{}", series.to_rows());
+}
+
+/// Formats a float to 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float to 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float to 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats bits/s as Mbit/s.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.3}", bps / 1_000_000.0)
+}
+
+/// Reads the quick-mode switch: `ES_BENCH_QUICK=1` shortens runs for
+/// CI; the default reproduces the paper's 60-second windows.
+pub fn run_seconds(default_secs: u64) -> u64 {
+    match std::env::var("ES_BENCH_QUICK") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => (default_secs / 6).max(5),
+        _ => default_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_sim::SimTime;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f2(1.267), "1.27");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(mbps(1_411_200.0), "1.411");
+    }
+
+    #[test]
+    fn series_rows_print() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(1), 2.0);
+        print_series(&s); // Must not panic.
+    }
+}

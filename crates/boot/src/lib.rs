@@ -1,0 +1,27 @@
+//! # es-boot — netboot, DHCP and ramdisk configuration (§2.4)
+//!
+//! The paper's Ethernet Speakers are maintenance-free appliances: they
+//! PXE-boot a ramdisk kernel over the network, acquire their network
+//! identity from DHCP, and fetch a per-machine configuration tar that
+//! is "expanded over the skeleton `/etc` directory, thus the
+//! machine-specific information overwrites any common configuration".
+//! The boot server's ssh public key ships inside the ramdisk, so the
+//! fetch is authenticated; updating the fleet means updating one image
+//! and rebooting.
+//!
+//! This crate models that logic faithfully enough to test it: an image
+//! store with versioned ramdisks, a lease-handing DHCP server, an
+//! overlay filesystem with exactly the paper's overwrite rule, and a
+//! boot state machine (PXE → DHCP → kernel → config fetch → service
+//! start) that refuses images or config bundles signed by the wrong
+//! server key.
+
+pub mod dhcp;
+pub mod image;
+pub mod machine;
+pub mod overlay;
+
+pub use dhcp::{DhcpConfig, DhcpServer, Lease};
+pub use image::{BootImage, BootServer};
+pub use machine::{BootError, BootPhase, BootedSystem, SpeakerMachine};
+pub use overlay::RamdiskFs;

@@ -1,0 +1,26 @@
+//! # es-codec — audio compression substrate
+//!
+//! The paper compresses CD-quality streams with Ogg Vorbis before
+//! multicasting them (§2.2). This crate provides the codecs the
+//! rebroadcaster's selective-compression policy chooses between:
+//!
+//! - [`codec::CodecId::Pcm`]: raw PCM (what the early system sent at
+//!   ~1.3 Mbps per stream).
+//! - [`codec::CodecId::ULaw`]: G.711 companding, 2:1, free.
+//! - [`codec::CodecId::Adpcm`]: IMA ADPCM, 4:1, near-free.
+//! - [`codec::CodecId::Ovl`]: the from-scratch MDCT transform codec
+//!   standing in for Ogg Vorbis — quality index 0..=10, the best ratio,
+//!   and (by design) the highest CPU cost, which is what Figure 4
+//!   measures.
+//!
+//! Every encode reports *work units* so the `es-sim` CPU model can
+//! price it on Geode-class hardware.
+
+pub mod adpcm;
+pub mod bitstream;
+pub mod codec;
+pub mod mdct;
+pub mod ovl;
+
+pub use codec::{CodecError, CodecId, Codecs, Encoded};
+pub use ovl::{OvlCodec, MAX_QUALITY};

@@ -1,0 +1,519 @@
+//! The system builder: one call-site to assemble a whole Ethernet
+//! Speaker deployment in the simulator.
+//!
+//! A built system is Figure 1 of the paper: a producer host running the
+//! VAD + rebroadcaster per channel, any number of Ethernet Speakers on
+//! the same LAN (joining at arbitrary times — the mid-stream-join case
+//! §3.2 worries about), and the catalog announcer of §4.3.
+
+use std::rc::Rc;
+
+use es_audio::gen::{ImpulseTrain, MultiTone, Signal, Sine, Sweep, WhiteNoise};
+use es_audio::AudioConfig;
+use es_net::{Lan, LanConfig, McastGroup};
+use es_proto::auth::StreamSigner;
+use es_rebroadcast::{
+    AppPacing, AudioApp, CompressionPolicy, RateLimiter, Rebroadcaster, RebroadcasterConfig,
+};
+use es_sim::{Shared, Sim, SimCpu, SimDuration, SimTime};
+use es_speaker::{AmbientProfile, AutoVolumeConfig, EthernetSpeaker, SpeakerConfig};
+
+use crate::catalog::CatalogAnnouncer;
+
+/// What an audio application plays into a channel.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A pure tone at the given frequency.
+    Tone(f32),
+    /// The deterministic harmonic "music" generator.
+    Music,
+    /// Seeded white noise.
+    Noise(u64),
+    /// A linear sweep `f0 → f1` over the clip duration.
+    Sweep(f32, f32),
+    /// A click train (one impulse every N samples) — the sharpest
+    /// signal for sync measurements.
+    Impulses(u32),
+}
+
+impl Source {
+    fn build(&self, cfg: &AudioConfig, duration: SimDuration) -> Box<dyn Signal> {
+        match *self {
+            Source::Tone(f) => Box::new(Sine::new(f, cfg.sample_rate, 0.6)),
+            Source::Music => Box::new(MultiTone::music(cfg.sample_rate)),
+            Source::Noise(seed) => Box::new(WhiteNoise::new(seed, 0.5)),
+            Source::Sweep(f0, f1) => Box::new(Sweep::new(
+                f0,
+                f1,
+                duration.as_secs_f64() as f32,
+                cfg.sample_rate,
+                0.6,
+            )),
+            Source::Impulses(period) => Box::new(ImpulseTrain::new(period, 0.9)),
+        }
+    }
+}
+
+/// One channel: an application, a VAD, a rebroadcaster, a group.
+pub struct ChannelSpec {
+    /// Stream id and packet label.
+    pub stream_id: u16,
+    /// Multicast group.
+    pub group: McastGroup,
+    /// Human-readable name (catalog entry).
+    pub name: String,
+    /// Stream format the application configures.
+    pub config: AudioConfig,
+    /// What the application plays.
+    pub source: Source,
+    /// Clip length.
+    pub duration: SimDuration,
+    /// Application pacing (wire-speed file playback vs. live source).
+    pub pacing: AppPacing,
+    /// Rate limiter for the rebroadcaster.
+    pub rate_limiter: RateLimiter,
+    /// Compression policy.
+    pub policy: CompressionPolicy,
+    /// Stream flags (e.g. [`es_proto::FLAG_PRIORITY`]).
+    pub flags: u16,
+    /// Bill encode work to this CPU (Figure 4).
+    pub cpu: Option<Shared<SimCpu>>,
+    /// Sign the stream (§5.1).
+    pub signer: Option<Rc<StreamSigner>>,
+    /// Delay before the application starts playing.
+    pub start_at: SimDuration,
+    /// VAD block length in milliseconds — one network packet per block,
+    /// so this is §3.4's buffer-size knob.
+    pub vad_block_ms: u64,
+    /// Playout delay granted to receivers (data deadlines sit this far
+    /// behind the producer stream clock).
+    pub playout_delay: SimDuration,
+    /// One XOR-parity packet per this many data packets (FEC extension
+    /// for lossy links).
+    pub fec_group: Option<u8>,
+}
+
+impl ChannelSpec {
+    /// A CD-quality music channel with paper-default settings.
+    pub fn new(stream_id: u16, group: McastGroup, name: impl Into<String>) -> Self {
+        ChannelSpec {
+            stream_id,
+            group,
+            name: name.into(),
+            config: AudioConfig::CD,
+            source: Source::Music,
+            duration: SimDuration::from_secs(10),
+            pacing: AppPacing::RealTime,
+            rate_limiter: RateLimiter::new(),
+            policy: CompressionPolicy::paper_default(),
+            flags: 0,
+            cpu: None,
+            signer: None,
+            start_at: SimDuration::ZERO,
+            vad_block_ms: 50,
+            playout_delay: SimDuration::from_millis(200),
+            fec_group: None,
+        }
+    }
+}
+
+/// One speaker: where it listens and when it powers on.
+pub struct SpeakerSpec {
+    /// Speaker configuration.
+    pub config: SpeakerConfig,
+    /// When the speaker joins (mid-stream joins exercise §3.2).
+    pub start_at: SimDuration,
+}
+
+impl SpeakerSpec {
+    /// A default speaker on `group`, on from t=0.
+    pub fn new(name: impl Into<String>, group: McastGroup) -> Self {
+        SpeakerSpec {
+            config: SpeakerConfig::new(name, group),
+            start_at: SimDuration::ZERO,
+        }
+    }
+
+    /// Sets the power-on time.
+    pub fn starting_at(mut self, at: SimDuration) -> Self {
+        self.start_at = at;
+        self
+    }
+
+    /// Sets the §3.2 epsilon.
+    pub fn with_epsilon(mut self, eps: SimDuration) -> Self {
+        self.config.epsilon = eps;
+        self
+    }
+
+    /// Enables auth with a trust anchor.
+    pub fn with_auth_anchor(mut self, anchor: [u8; 32]) -> Self {
+        self.config.auth_anchor = Some(anchor);
+        self
+    }
+
+    /// Bills decode work to a CPU model.
+    pub fn with_cpu(mut self, cpu: Shared<SimCpu>) -> Self {
+        self.config.cpu = Some(cpu);
+        self
+    }
+
+    /// Enables ambient-tracking auto-volume.
+    pub fn with_auto_volume(mut self, avc: AutoVolumeConfig, profile: AmbientProfile) -> Self {
+        self.config.auto_volume = Some((avc, profile));
+        self
+    }
+
+    /// Switches to the §3.4 single-threaded player with the given
+    /// receive-queue depth.
+    pub fn with_serial_pipeline(mut self, queue_depth: usize) -> Self {
+        self.config.serial_queue_depth = Some(queue_depth);
+        self
+    }
+
+    /// Overrides the audio device geometry (ring capacity, block ms).
+    pub fn with_device_geometry(mut self, ring_capacity: usize, block_ms: u64) -> Self {
+        self.config.device_ring_capacity = ring_capacity;
+        self.config.device_block_ms = block_ms;
+        self
+    }
+
+    /// Sets the fixed volume gain.
+    pub fn with_volume(mut self, volume: f64) -> Self {
+        self.config.volume = volume;
+        self
+    }
+
+    /// Plays packets as soon as decoded, ignoring deadlines (the early
+    /// ES of §3.4).
+    pub fn with_asap_playback(mut self) -> Self {
+        self.config.asap_playback = true;
+        self
+    }
+
+    /// Enables packet-loss concealment (replay-and-fade).
+    pub fn with_loss_concealment(mut self) -> Self {
+        self.config.conceal_loss = true;
+        self
+    }
+}
+
+/// Builder for a complete simulated deployment.
+pub struct SystemBuilder {
+    seed: u64,
+    lan: LanConfig,
+    channels: Vec<ChannelSpec>,
+    speakers: Vec<SpeakerSpec>,
+    announce_group: Option<McastGroup>,
+}
+
+impl SystemBuilder {
+    /// Starts a build with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        SystemBuilder {
+            seed,
+            lan: LanConfig::default(),
+            channels: Vec::new(),
+            speakers: Vec::new(),
+            announce_group: None,
+        }
+    }
+
+    /// Sets the LAN physical parameters.
+    pub fn lan(mut self, lan: LanConfig) -> Self {
+        self.lan = lan;
+        self
+    }
+
+    /// Adds a channel.
+    pub fn channel(mut self, spec: ChannelSpec) -> Self {
+        self.channels.push(spec);
+        self
+    }
+
+    /// Adds a speaker.
+    pub fn speaker(mut self, spec: SpeakerSpec) -> Self {
+        self.speakers.push(spec);
+        self
+    }
+
+    /// Enables the §4.3 catalog announcer on `group`.
+    pub fn announce_on(mut self, group: McastGroup) -> Self {
+        self.announce_group = Some(group);
+        self
+    }
+
+    /// Assembles the system. Applications and speakers with start
+    /// delays are scheduled; nothing runs until
+    /// [`EsSystem::run_for`]/[`EsSystem::run_until`].
+    pub fn build(self) -> EsSystem {
+        let mut sim = Sim::new(self.seed);
+        let lan = Lan::new(self.lan);
+        let producer_node = lan.attach("producer-host");
+
+        let mut rebroadcasters = Vec::new();
+        let mut apps: Vec<Shared<Option<AudioApp>>> = Vec::new();
+        let mut catalog_entries = Vec::new();
+
+        for ch in self.channels {
+            lan.join(producer_node, ch.group);
+            // The slave ring must hold several blocks even when blocks
+            // are large (§3.4 sweeps block sizes up to half a second).
+            let block_bytes = ch.config.bytes_for_nanos(ch.vad_block_ms * 1_000_000) as usize;
+            let ring = es_vad::device::DEFAULT_RING_CAPACITY.max(block_bytes * 4);
+            let (slave, master) = es_vad::vad_pair_with_geometry(
+                es_vad::VadMode::KernelThread {
+                    poll: SimDuration::from_millis((ch.vad_block_ms / 4).max(5)),
+                },
+                ring,
+                ch.vad_block_ms,
+            );
+            let mut rcfg = RebroadcasterConfig::new(ch.stream_id, ch.group);
+            rcfg.rate_limiter = ch.rate_limiter;
+            rcfg.policy = ch.policy;
+            rcfg.flags = ch.flags;
+            rcfg.cpu = ch.cpu.clone();
+            rcfg.signer = ch.signer.clone();
+            rcfg.playout_delay = ch.playout_delay;
+            rcfg.fec_group = ch.fec_group;
+            let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer_node, master, rcfg);
+            catalog_entries.push((ch.stream_id, ch.group, ch.name.clone(), ch.config, ch.flags));
+
+            // The application starts at its delay.
+            let slave = Rc::new(slave);
+            let signal = ch.source.build(&ch.config, ch.duration);
+            let app_slot: Shared<Option<AudioApp>> = es_sim::shared(None);
+            let slot2 = app_slot.clone();
+            let cfg = ch.config;
+            let duration = ch.duration;
+            let pacing = ch.pacing;
+            sim.schedule_in(ch.start_at, move |sim| {
+                if let Ok(app) = AudioApp::start(sim, slave, cfg, signal, duration, pacing) {
+                    *slot2.borrow_mut() = Some(app);
+                }
+            });
+            apps.push(app_slot);
+            rebroadcasters.push(rb);
+        }
+
+        let announcer = self.announce_group.map(|group| {
+            lan.join(producer_node, group);
+            CatalogAnnouncer::start(
+                &mut sim,
+                lan.clone(),
+                producer_node,
+                group,
+                catalog_entries
+                    .iter()
+                    .map(|(id, g, name, cfg, flags)| es_proto::StreamInfo {
+                        stream_id: *id,
+                        group: g.0,
+                        name: name.clone(),
+                        codec: 0,
+                        config: *cfg,
+                        flags: *flags,
+                    })
+                    .collect(),
+            )
+        });
+
+        let mut speakers = Vec::new();
+        for spec in self.speakers {
+            if spec.start_at.is_zero() {
+                speakers.push(SpeakerHandle::Ready(EthernetSpeaker::start(
+                    &mut sim,
+                    &lan,
+                    spec.config,
+                )));
+            } else {
+                let slot: Shared<Option<EthernetSpeaker>> = es_sim::shared(None);
+                let slot2 = slot.clone();
+                let lan2 = lan.clone();
+                let cfg = spec.config;
+                sim.schedule_in(spec.start_at, move |sim| {
+                    *slot2.borrow_mut() = Some(EthernetSpeaker::start(sim, &lan2, cfg));
+                });
+                speakers.push(SpeakerHandle::Deferred(slot));
+            }
+        }
+
+        EsSystem {
+            sim,
+            lan,
+            rebroadcasters,
+            apps,
+            speakers,
+            announcer,
+        }
+    }
+}
+
+enum SpeakerHandle {
+    Ready(EthernetSpeaker),
+    Deferred(Shared<Option<EthernetSpeaker>>),
+}
+
+/// A built deployment.
+pub struct EsSystem {
+    /// The simulator; exposed for custom event scheduling.
+    pub sim: Sim,
+    lan: Lan,
+    rebroadcasters: Vec<Rebroadcaster>,
+    apps: Vec<Shared<Option<AudioApp>>>,
+    speakers: Vec<SpeakerHandle>,
+    announcer: Option<CatalogAnnouncer>,
+}
+
+impl EsSystem {
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs until an absolute virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// The LAN fabric.
+    pub fn lan(&self) -> &Lan {
+        &self.lan
+    }
+
+    /// Channel rebroadcasters, in declaration order.
+    pub fn rebroadcaster(&self, i: usize) -> &Rebroadcaster {
+        &self.rebroadcasters[i]
+    }
+
+    /// The application driving channel `i` (None before its start
+    /// delay).
+    pub fn app(&self, i: usize) -> Option<AudioApp> {
+        self.apps[i].borrow().clone()
+    }
+
+    /// Speaker `i` (None before its power-on time).
+    pub fn speaker(&self, i: usize) -> Option<EthernetSpeaker> {
+        match &self.speakers[i] {
+            SpeakerHandle::Ready(s) => Some(s.clone()),
+            SpeakerHandle::Deferred(slot) => slot.borrow().clone(),
+        }
+    }
+
+    /// Number of declared speakers.
+    pub fn speaker_count(&self) -> usize {
+        self.speakers.len()
+    }
+
+    /// The catalog announcer, if enabled.
+    pub fn announcer(&self) -> Option<&CatalogAnnouncer> {
+        self.announcer.as_ref()
+    }
+
+    /// Measures the playback offset between two speakers' outputs.
+    ///
+    /// Both DAC taps are sampled over a short window anchored at the
+    /// same absolute instant (block timestamps give the coarse
+    /// alignment); cross-correlation of the window then measures the
+    /// residual offset. Returns the magnitude of the total offset —
+    /// `None` if either speaker has not played through the window or
+    /// the correlation is ambiguous.
+    pub fn playback_offset(
+        &self,
+        a: usize,
+        b: usize,
+        window_start: SimTime,
+        max_lag: SimDuration,
+    ) -> Option<SimDuration> {
+        let sa = self.speaker(a)?;
+        let sb = self.speaker(b)?;
+        let cfg = sa.device().config();
+        let rate = cfg.sample_rate as u64 * cfg.channels as u64; // interleaved samples/s
+        let window = (rate / 2) as usize; // half a second of signal
+        let slice = |spk: &EthernetSpeaker| -> Option<Vec<i16>> {
+            let tap = spk.tap();
+            let tap = tap.borrow();
+            let idx = tap.sample_index_at(window_start)?;
+            let all = tap.samples();
+            if all.len() < idx + window / 2 {
+                return None;
+            }
+            Some(all[idx..(idx + window).min(all.len())].to_vec())
+        };
+        let xa = slice(&sa)?;
+        let xb = slice(&sb)?;
+        // The coarse alignment above leaves at most a few blocks of
+        // skew; bound the search to keep the correlation cheap.
+        let max_lag_samples =
+            ((max_lag.as_nanos() as u128 * rate as u128 / 1_000_000_000) as usize).min(8_192);
+        let lag = es_audio::analysis::correlation_lag(&xa, &xb, max_lag_samples.max(4))?;
+        let lag_ns = (lag.unsigned_abs() as u128 * 1_000_000_000 / rate as u128) as u64;
+        Some(SimDuration::from_nanos(lag_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_tone_reaches_three_speakers() {
+        let mut sys = SystemBuilder::new(1)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .speaker(SpeakerSpec::new("es1", McastGroup(1)))
+            .speaker(SpeakerSpec::new("es2", McastGroup(1)))
+            .speaker(SpeakerSpec::new("es3", McastGroup(1)))
+            .build();
+        sys.run_for(SimDuration::from_secs(5));
+        for i in 0..3 {
+            let spk = sys.speaker(i).unwrap();
+            let st = spk.stats();
+            assert!(st.control_packets >= 8, "speaker {i}: {st:?}");
+            assert!(st.data_packets > 30, "speaker {i}: {st:?}");
+            assert!(st.samples_played > 100_000, "speaker {i}: {st:?}");
+            assert_eq!(st.bad_packets, 0);
+        }
+        let rb = sys.rebroadcaster(0);
+        assert!(rb.stats().data_packets > 30);
+    }
+
+    #[test]
+    fn late_speaker_joins_mid_stream() {
+        let mut sys = SystemBuilder::new(2)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .speaker(SpeakerSpec::new("early", McastGroup(1)))
+            .speaker(SpeakerSpec::new("late", McastGroup(1)).starting_at(SimDuration::from_secs(4)))
+            .build();
+        sys.run_for(SimDuration::from_secs(3));
+        assert!(sys.speaker(1).is_none(), "late speaker not yet powered");
+        sys.run_for(SimDuration::from_secs(5));
+        let late = sys.speaker(1).unwrap();
+        let st = late.stats();
+        // It waited for a control packet, then played.
+        assert!(st.samples_played > 0, "{st:?}");
+        assert!(st.control_packets > 0);
+    }
+
+    #[test]
+    fn two_speakers_play_in_sync() {
+        let mut sys = SystemBuilder::new(3)
+            .channel({
+                let mut c = ChannelSpec::new(1, McastGroup(1), "clicks");
+                c.source = Source::Impulses(11_025); // 4 clicks/sec.
+                c.policy = CompressionPolicy::Never;
+                c
+            })
+            .speaker(SpeakerSpec::new("a", McastGroup(1)))
+            .speaker(
+                SpeakerSpec::new("b", McastGroup(1)).starting_at(SimDuration::from_millis(1_700)),
+            )
+            .build();
+        sys.run_for(SimDuration::from_secs(8));
+        let offset = sys
+            .playback_offset(0, 1, SimTime::from_secs(3), SimDuration::from_millis(400))
+            .expect("correlation must lock");
+        assert!(
+            offset <= SimDuration::from_millis(60),
+            "speakers out of sync by {offset}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # es-core — the Ethernet Speaker system, assembled
+//!
+//! The public face of the reproduction. One [`SystemBuilder`] call
+//! assembles the whole of the paper's Figure 1 in the discrete-event
+//! simulator: applications playing into VAD slaves, rebroadcasters
+//! pacing/compressing/multicasting, Ethernet Speakers synchronizing and
+//! playing, plus the §4.3 catalog and the §5.3 central override. The
+//! [`live`] module runs the identical protocol over real UDP multicast.
+//!
+//! ```
+//! use es_core::{ChannelSpec, SpeakerSpec, SystemBuilder};
+//! use es_net::McastGroup;
+//! use es_sim::SimDuration;
+//!
+//! let mut sys = SystemBuilder::new(42)
+//!     .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+//!     .speaker(SpeakerSpec::new("lobby", McastGroup(1)))
+//!     .build();
+//! sys.run_for(SimDuration::from_secs(2));
+//! assert!(sys.speaker(0).unwrap().stats().samples_played > 0);
+//! ```
+
+pub mod builder;
+pub mod catalog;
+pub mod live;
+pub mod override_ctl;
+
+pub use builder::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
+pub use catalog::{CatalogAnnouncer, ChannelBrowser};
+pub use live::{
+    run_live_producer, run_live_speaker, LiveProducerConfig, LiveProducerReport, LiveSpeakerReport,
+};
+pub use override_ctl::{OverrideController, OverrideStats};

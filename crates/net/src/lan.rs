@@ -1,0 +1,683 @@
+//! The simulated switched-Ethernet LAN.
+//!
+//! §2.3 restricts the whole system to one Ethernet segment: "low error
+//! rates, ample bandwidth, and most importantly, well behaved packet
+//! arrival", with multicast available by default. This module models
+//! exactly that environment — and lets the experiments break each
+//! assumption on purpose (legacy 10 Mbps links for the bandwidth
+//! experiment, injected loss and jitter for E-LOSS).
+//!
+//! The model is a store-and-forward switch: each sender owns an egress
+//! link with FIFO serialization at the configured line rate; delivery
+//! to every receiver adds propagation delay plus optional Gaussian
+//! jitter; loss is sampled per receiver. Multicast frames fan out to
+//! all members of the destination group ("everybody receives a
+//! multicast packet at the same time" — §3.2's uniformity assumption —
+//! holds exactly when jitter is zero).
+
+use bytes::Bytes;
+
+use es_sim::random::{chance, normal};
+use es_sim::{shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
+
+/// Identifies a host attached to the LAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// A multicast group address ("the multicast addresses used for the
+/// audio channels", §2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct McastGroup(pub u16);
+
+/// A datagram destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dest {
+    /// One host.
+    Unicast(NodeId),
+    /// Every member of a group except the sender.
+    Multicast(McastGroup),
+}
+
+/// A received datagram, as handed to a node's receive handler.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Sending host.
+    pub src: NodeId,
+    /// Destination as sent.
+    pub dst: Dest,
+    /// Payload bytes (the UDP payload; wire overhead is accounted
+    /// separately).
+    pub payload: Bytes,
+}
+
+/// Per-frame wire overhead in bytes: Ethernet header + CRC (18), IP
+/// (20), UDP (8), preamble + inter-frame gap (20).
+pub const WIRE_OVERHEAD: usize = 66;
+
+/// How the medium is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MediumMode {
+    /// Modern switched Ethernet: every sender owns its link, the switch
+    /// forwards at line rate (the paper's "fast Ethernet" case).
+    #[default]
+    Switched,
+    /// A shared collision domain (hub / coax / the paper's "legacy
+    /// 10Mbps" and "wireless links"): one transmission at a time for
+    /// the whole segment.
+    SharedHub,
+}
+
+/// LAN physical parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LanConfig {
+    /// Line rate per link in bits per second (100 Mbps fast Ethernet by
+    /// default; 10 Mbps reproduces the paper's "legacy" case).
+    pub bandwidth_bps: u64,
+    /// Fixed propagation + switching delay.
+    pub propagation: SimDuration,
+    /// Standard deviation of Gaussian per-receiver delivery jitter.
+    pub jitter_std: SimDuration,
+    /// Independent per-receiver drop probability.
+    pub loss_prob: f64,
+    /// Maximum UDP payload per wire frame; larger datagrams fragment
+    /// and are lost whole if any fragment is lost.
+    pub mtu: usize,
+    /// Switched or shared medium.
+    pub medium: MediumMode,
+}
+
+impl Default for LanConfig {
+    fn default() -> Self {
+        LanConfig {
+            bandwidth_bps: 100_000_000,
+            propagation: SimDuration::from_micros(50),
+            jitter_std: SimDuration::ZERO,
+            loss_prob: 0.0,
+            mtu: 1_472,
+            medium: MediumMode::Switched,
+        }
+    }
+}
+
+impl LanConfig {
+    /// Legacy 10 Mbps Ethernet — where §2.2 says raw CD streams became
+    /// unacceptable. Legacy segments were shared collision domains, so
+    /// the whole LAN carries one frame at a time.
+    pub fn legacy_10mbps() -> Self {
+        LanConfig {
+            bandwidth_bps: 10_000_000,
+            medium: MediumMode::SharedHub,
+            ..LanConfig::default()
+        }
+    }
+
+    /// A misbehaving network for fault-injection experiments.
+    pub fn lossy(loss_prob: f64, jitter_std: SimDuration) -> Self {
+        LanConfig {
+            loss_prob,
+            jitter_std,
+            ..LanConfig::default()
+        }
+    }
+}
+
+/// Aggregate traffic counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LanStats {
+    /// Datagrams submitted by senders.
+    pub datagrams_sent: u64,
+    /// Datagram deliveries (one per receiver).
+    pub datagrams_delivered: u64,
+    /// Deliveries suppressed by the loss model.
+    pub datagrams_lost: u64,
+    /// Payload bytes submitted.
+    pub payload_bytes_sent: u64,
+    /// Bytes on the wire including fragmentation and frame overhead.
+    pub wire_bytes_sent: u64,
+}
+
+impl LanStats {
+    /// Mean offered load in bits/s over `elapsed`.
+    pub fn offered_bits_per_sec(&self, elapsed: SimDuration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.wire_bytes_sent as f64 * 8.0 / elapsed.as_secs_f64()
+    }
+}
+
+type RecvHandler = Box<dyn FnMut(&mut Sim, Datagram)>;
+
+struct Node {
+    name: String,
+    handler: Option<RecvHandler>,
+    groups: Vec<McastGroup>,
+    link_busy_until: SimTime,
+}
+
+struct LanInner {
+    config: LanConfig,
+    nodes: Vec<Node>,
+    stats: LanStats,
+    wire_usage: BucketAccumulator,
+    /// Shared-medium busy horizon ([`MediumMode::SharedHub`] only).
+    medium_busy_until: SimTime,
+    /// Payload bytes per multicast group (channel accounting).
+    group_bytes: std::collections::BTreeMap<McastGroup, u64>,
+}
+
+/// The LAN fabric. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Lan {
+    inner: Shared<LanInner>,
+}
+
+impl Lan {
+    /// Creates a LAN with the given physical parameters.
+    pub fn new(config: LanConfig) -> Self {
+        Lan {
+            inner: shared(LanInner {
+                config,
+                nodes: Vec::new(),
+                stats: LanStats::default(),
+                wire_usage: BucketAccumulator::new("wire-bytes", SimDuration::from_secs(1)),
+                medium_busy_until: SimTime::ZERO,
+                group_bytes: std::collections::BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Attaches a host and returns its id. Install a receive handler
+    /// with [`Lan::set_handler`] to get packets.
+    pub fn attach(&self, name: impl Into<String>) -> NodeId {
+        let mut inner = self.inner.borrow_mut();
+        inner.nodes.push(Node {
+            name: name.into(),
+            handler: None,
+            groups: Vec::new(),
+            link_busy_until: SimTime::ZERO,
+        });
+        NodeId(inner.nodes.len() as u32 - 1)
+    }
+
+    /// The host's display name.
+    pub fn node_name(&self, node: NodeId) -> String {
+        self.inner.borrow().nodes[node.0 as usize].name.clone()
+    }
+
+    /// Installs (or replaces) the receive handler for `node`.
+    pub fn set_handler(&self, node: NodeId, f: impl FnMut(&mut Sim, Datagram) + 'static) {
+        self.inner.borrow_mut().nodes[node.0 as usize].handler = Some(Box::new(f));
+    }
+
+    /// Joins a multicast group — the ES "tuning in" to a channel; no
+    /// dialogue with the sender is involved (§2.3).
+    pub fn join(&self, node: NodeId, group: McastGroup) {
+        let mut inner = self.inner.borrow_mut();
+        let groups = &mut inner.nodes[node.0 as usize].groups;
+        if !groups.contains(&group) {
+            groups.push(group);
+        }
+    }
+
+    /// Leaves a multicast group — "tuning out" (channel switching).
+    pub fn leave(&self, node: NodeId, group: McastGroup) {
+        let mut inner = self.inner.borrow_mut();
+        inner.nodes[node.0 as usize].groups.retain(|&g| g != group);
+    }
+
+    /// True if `node` is currently a member of `group`.
+    pub fn is_member(&self, node: NodeId, group: McastGroup) -> bool {
+        self.inner.borrow().nodes[node.0 as usize]
+            .groups
+            .contains(&group)
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn stats(&self) -> LanStats {
+        self.inner.borrow().stats
+    }
+
+    /// Payload bytes multicast to `group` so far (per-channel
+    /// accounting for multi-stream deployments).
+    pub fn group_bytes(&self, group: McastGroup) -> u64 {
+        self.inner
+            .borrow()
+            .group_bytes
+            .get(&group)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-second wire utilization series (fraction of line rate),
+    /// up to `until`.
+    pub fn utilization_series(&self, until: SimTime) -> TimeSeries {
+        let inner = self.inner.borrow();
+        let capacity_per_bucket = inner.config.bandwidth_bps as f64 / 8.0;
+        let mut out = TimeSeries::new("lan-utilization");
+        for &(t, bytes) in inner.wire_usage.series().samples() {
+            if t > until {
+                break;
+            }
+            out.push(t, bytes / capacity_per_bucket);
+        }
+        out
+    }
+
+    /// Sends a datagram. Serialization occupies the sender's egress
+    /// link FIFO; delivery events are scheduled per receiver.
+    pub fn send(&self, sim: &mut Sim, from: NodeId, dst: Dest, payload: Bytes) {
+        let lan = self.clone();
+        let (deliver_at_base, receivers, lost_count) = {
+            let mut inner = self.inner.borrow_mut();
+            let config = inner.config;
+
+            // Fragment count and wire bytes.
+            let frags = payload.len().div_ceil(config.mtu).max(1);
+            let wire_bytes = payload.len() + frags * WIRE_OVERHEAD;
+            inner.stats.datagrams_sent += 1;
+            inner.stats.payload_bytes_sent += payload.len() as u64;
+            inner.stats.wire_bytes_sent += wire_bytes as u64;
+            inner.wire_usage.add(sim.now(), wire_bytes as f64);
+
+            if let Dest::Multicast(g) = dst {
+                *inner.group_bytes.entry(g).or_insert(0) += payload.len() as u64;
+            }
+
+            // FIFO serialization: per sender link on a switch, on the
+            // whole segment for a shared medium.
+            let ser = SimDuration::for_bytes_at_rate(wire_bytes as u64, config.bandwidth_bps);
+            let done = match config.medium {
+                MediumMode::Switched => {
+                    let node = &mut inner.nodes[from.0 as usize];
+                    let start = sim.now().max(node.link_busy_until);
+                    let done = start + ser;
+                    node.link_busy_until = done;
+                    done
+                }
+                MediumMode::SharedHub => {
+                    let start = sim.now().max(inner.medium_busy_until);
+                    let done = start + ser;
+                    inner.medium_busy_until = done;
+                    done
+                }
+            };
+
+            // Receiver set.
+            let receivers: Vec<u32> = match dst {
+                Dest::Unicast(NodeId(n)) => {
+                    if (n as usize) < inner.nodes.len() {
+                        vec![n]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Dest::Multicast(group) => inner
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, node)| i as u32 != from.0 && node.groups.contains(&group))
+                    .map(|(i, _)| i as u32)
+                    .collect(),
+            };
+
+            // Loss: any lost fragment loses the datagram for that
+            // receiver; with f fragments the datagram survives with
+            // probability (1-p)^f.
+            let survive_prob = (1.0 - config.loss_prob).powi(frags as i32);
+            let mut kept = Vec::with_capacity(receivers.len());
+            let mut lost = 0u64;
+            for r in receivers {
+                if chance(sim.rng(), survive_prob) {
+                    kept.push(r);
+                } else {
+                    lost += 1;
+                }
+            }
+            inner.stats.datagrams_lost += lost;
+            (done + config.propagation, kept, lost)
+        };
+        let _ = lost_count;
+
+        for r in receivers {
+            let jitter = {
+                let inner = self.inner.borrow();
+                if inner.config.jitter_std.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    let ns = normal(sim.rng(), 0.0, inner.config.jitter_std.as_nanos() as f64);
+                    SimDuration::from_nanos(ns.max(0.0) as u64)
+                }
+            };
+            let at = deliver_at_base + jitter;
+            let lan = lan.clone();
+            let dg = Datagram {
+                src: from,
+                dst,
+                payload: payload.clone(),
+            };
+            sim.schedule_at(at, move |sim| {
+                // Take the handler out so it can borrow the LAN itself.
+                let handler = lan.inner.borrow_mut().nodes[r as usize].handler.take();
+                if let Some(mut h) = handler {
+                    lan.inner.borrow_mut().stats.datagrams_delivered += 1;
+                    h(sim, dg);
+                    let slot = &mut lan.inner.borrow_mut().nodes[r as usize].handler;
+                    // A handler installed during delivery wins.
+                    if slot.is_none() {
+                        *slot = Some(h);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Convenience: multicast send.
+    pub fn multicast(&self, sim: &mut Sim, from: NodeId, group: McastGroup, payload: Bytes) {
+        self.send(sim, from, Dest::Multicast(group), payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type DeliveryLog = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+
+    fn collect_deliveries(lan: &Lan, node: NodeId) -> DeliveryLog {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        lan.set_handler(node, move |sim, dg| {
+            l.borrow_mut().push((sim.now(), dg.payload.to_vec()));
+        });
+        log
+    }
+
+    #[test]
+    fn unicast_delivery_with_serialization_and_propagation() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let log = collect_deliveries(&lan, b);
+        lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from(vec![0u8; 1_000]));
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        // (1000 + 66) * 8 bits / 100 Mbps = 85.28 us, + 50 us propagation.
+        let t = log[0].0.as_nanos();
+        assert_eq!(t, 85_280 + 50_000);
+    }
+
+    #[test]
+    fn multicast_reaches_members_only_and_not_sender() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let s1 = lan.attach("es1");
+        let s2 = lan.attach("es2");
+        let s3 = lan.attach("es3");
+        let g = McastGroup(7);
+        lan.join(producer, g);
+        lan.join(s1, g);
+        lan.join(s2, g);
+        // s3 does not join.
+        let l1 = collect_deliveries(&lan, s1);
+        let l2 = collect_deliveries(&lan, s2);
+        let l3 = collect_deliveries(&lan, s3);
+        let lp = collect_deliveries(&lan, producer);
+        lan.multicast(&mut sim, producer, g, Bytes::from_static(b"hello"));
+        sim.run();
+        assert_eq!(l1.borrow().len(), 1);
+        assert_eq!(l2.borrow().len(), 1);
+        assert_eq!(l3.borrow().len(), 0);
+        assert_eq!(lp.borrow().len(), 0, "sender must not hear itself");
+        // Uniform arrival: both receivers at the same instant (§3.2).
+        assert_eq!(l1.borrow()[0].0, l2.borrow()[0].0);
+    }
+
+    #[test]
+    fn join_leave_controls_membership() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(1);
+        let log = collect_deliveries(&lan, b);
+        lan.join(b, g);
+        assert!(lan.is_member(b, g));
+        lan.multicast(&mut sim, a, g, Bytes::from_static(b"x"));
+        sim.run();
+        lan.leave(b, g);
+        assert!(!lan.is_member(b, g));
+        lan.multicast(&mut sim, a, g, Bytes::from_static(b"y"));
+        sim.run();
+        assert_eq!(log.borrow().len(), 1, "only the pre-leave packet");
+    }
+
+    #[test]
+    fn fifo_serialization_queues_back_to_back_sends() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let log = collect_deliveries(&lan, b);
+        for _ in 0..3 {
+            lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from(vec![0u8; 1_000]));
+        }
+        sim.run();
+        let log = log.borrow();
+        let per_frame = 85_280u64;
+        for (i, (t, _)) in log.iter().enumerate() {
+            assert_eq!(
+                t.as_nanos(),
+                per_frame * (i as u64 + 1) + 50_000,
+                "frame {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_model_drops_about_the_right_fraction() {
+        let mut sim = Sim::new(42);
+        let lan = Lan::new(LanConfig::lossy(0.25, SimDuration::ZERO));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let log = collect_deliveries(&lan, b);
+        let n = 4_000;
+        for _ in 0..n {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        let delivered = log.borrow().len() as f64;
+        let rate = delivered / n as f64;
+        assert!((rate - 0.75).abs() < 0.03, "delivery rate {rate}");
+        let stats = lan.stats();
+        assert_eq!(stats.datagrams_sent, n as u64);
+        assert_eq!(stats.datagrams_delivered + stats.datagrams_lost, n as u64);
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let mut sim = Sim::new(7);
+        let lan = Lan::new(LanConfig::lossy(0.0, SimDuration::from_micros(500)));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let c = lan.attach("c");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        lan.join(c, g);
+        let lb = collect_deliveries(&lan, b);
+        let lc = collect_deliveries(&lan, c);
+        let mut diffs = Vec::new();
+        for _ in 0..100 {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        for (x, y) in lb.borrow().iter().zip(lc.borrow().iter()) {
+            diffs.push((x.0.as_nanos() as i64 - y.0.as_nanos() as i64).abs());
+        }
+        assert!(
+            diffs.iter().any(|&d| d > 100_000),
+            "jitter produced no measurable skew"
+        );
+    }
+
+    #[test]
+    fn fragmentation_counts_wire_overhead_per_fragment() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let _log = collect_deliveries(&lan, b);
+        // 4000 bytes over a 1472-byte MTU = 3 fragments.
+        lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from(vec![0u8; 4_000]));
+        sim.run();
+        let stats = lan.stats();
+        assert_eq!(stats.wire_bytes_sent, 4_000 + 3 * WIRE_OVERHEAD as u64);
+    }
+
+    #[test]
+    fn bandwidth_matters_10mbps_is_10x_slower() {
+        let payload = Bytes::from(vec![0u8; 10_000]);
+        let run = |config: LanConfig| -> u64 {
+            let mut sim = Sim::new(1);
+            let lan = Lan::new(config);
+            let a = lan.attach("a");
+            let b = lan.attach("b");
+            let log = collect_deliveries(&lan, b);
+            lan.send(&mut sim, a, Dest::Unicast(b), payload.clone());
+            sim.run();
+            let t = log.borrow()[0].0;
+            t.as_nanos()
+        };
+        let fast = run(LanConfig::default());
+        let slow = run(LanConfig::legacy_10mbps());
+        let ratio = (slow - 50_000) as f64 / (fast - 50_000) as f64;
+        assert!((ratio - 10.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn utilization_series_reflects_traffic() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::legacy_10mbps());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        lan.join(b, McastGroup(0));
+        // 125 kB/s = 1 Mbps = 10% of a 10 Mbps link, for 3 seconds.
+        for ms in (0..3_000).step_by(8) {
+            let lan2 = lan.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |sim| {
+                lan2.multicast(sim, a, McastGroup(0), Bytes::from(vec![0u8; 1_000]));
+            });
+        }
+        sim.run_until(SimTime::from_secs(3));
+        let series = lan.utilization_series(SimTime::from_secs(3));
+        assert!(series.len() >= 2);
+        let mean = series.mean().unwrap();
+        assert!((mean - 0.107).abs() < 0.01, "mean utilization {mean}");
+    }
+
+    #[test]
+    fn stats_offered_load() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from(vec![0u8; 934]));
+        sim.run();
+        let bps = lan.stats().offered_bits_per_sec(SimDuration::from_secs(1));
+        assert!((bps - 8_000.0).abs() < 1.0, "{bps}");
+        assert_eq!(lan.stats().offered_bits_per_sec(SimDuration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn unicast_to_unknown_node_is_dropped_quietly() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        lan.send(
+            &mut sim,
+            a,
+            Dest::Unicast(NodeId(99)),
+            Bytes::from_static(b"x"),
+        );
+        sim.run();
+        assert_eq!(lan.stats().datagrams_delivered, 0);
+    }
+
+    #[test]
+    fn shared_hub_serializes_across_senders() {
+        // Two senders each pushing 1000-byte frames: on a switch their
+        // transmissions overlap; on a hub they queue behind each other.
+        let run = |medium: MediumMode| -> u64 {
+            let mut sim = Sim::new(1);
+            let lan = Lan::new(LanConfig {
+                medium,
+                ..LanConfig::default()
+            });
+            let a = lan.attach("a");
+            let b = lan.attach("b");
+            let c = lan.attach("c");
+            let log = collect_deliveries(&lan, c);
+            lan.join(c, McastGroup(0));
+            for _ in 0..10 {
+                lan.multicast(&mut sim, a, McastGroup(0), Bytes::from(vec![0u8; 1_000]));
+                lan.multicast(&mut sim, b, McastGroup(0), Bytes::from(vec![0u8; 1_000]));
+            }
+            sim.run();
+            let last = {
+                let l = log.borrow();
+                l.last().unwrap().0
+            };
+            last.as_nanos()
+        };
+        let switched = run(MediumMode::Switched);
+        let hub = run(MediumMode::SharedHub);
+        // 20 frames on a hub take twice as long as 10 per link.
+        assert!(
+            hub > switched * 19 / 10,
+            "hub {hub} ns vs switched {switched} ns"
+        );
+    }
+
+    #[test]
+    fn group_byte_accounting() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        lan.join(b, McastGroup(1));
+        lan.join(b, McastGroup(2));
+        lan.multicast(&mut sim, a, McastGroup(1), Bytes::from(vec![0u8; 100]));
+        lan.multicast(&mut sim, a, McastGroup(1), Bytes::from(vec![0u8; 50]));
+        lan.multicast(&mut sim, a, McastGroup(2), Bytes::from(vec![0u8; 7]));
+        sim.run();
+        assert_eq!(lan.group_bytes(McastGroup(1)), 150);
+        assert_eq!(lan.group_bytes(McastGroup(2)), 7);
+        assert_eq!(lan.group_bytes(McastGroup(9)), 0);
+    }
+
+    #[test]
+    fn handler_can_send_from_within_delivery() {
+        // A speaker that echoes a packet back must not deadlock on the
+        // LAN's interior RefCell.
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let echo_lan = lan.clone();
+        lan.set_handler(b, move |sim, dg| {
+            echo_lan.send(sim, b, Dest::Unicast(dg.src), dg.payload);
+        });
+        let got = collect_deliveries(&lan, a);
+        lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from_static(b"ping"));
+        sim.run();
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(got.borrow()[0].1, b"ping");
+    }
+}

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3) for packet integrity.
+//!
+//! §5.1: "we want to prevent malicious hosts from injecting packets
+//! into an audio stream. We do this by allowing the ES to perform
+//! integrity checks on the incoming packets." The CRC is the
+//! *accidental-corruption* layer of that defence (the cryptographic
+//! layer lives in [`crate::auth`]); it also catches torn packets from
+//! the fragmentation path.
+
+/// Computes the IEEE CRC-32 of `data` (reflected, init all-ones,
+/// final xor all-ones — the Ethernet FCS polynomial).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streams additional bytes into a running CRC state (pass
+/// `0xFFFF_FFFF` to start; xor the result with `0xFFFF_FFFF` to
+/// finish).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the ethernet speaker system";
+        let one = crc32(data);
+        let mut state = 0xFFFF_FFFF;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, one);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"audio block payload".to_vec();
+        let good = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), good, "missed flip at {byte}.{bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # es-proto — the Ethernet Speaker wire protocol
+//!
+//! Everything that crosses the LAN, plus its integrity and
+//! authentication layers:
+//!
+//! - [`packet`]: control / data / announce packets (§2.3, §3.2, §4.3),
+//!   CRC-32 framed, stateless-producer semantics.
+//! - [`crc`]: IEEE CRC-32.
+//! - [`sha256`]: SHA-256 + HMAC-SHA-256 (FIPS/RFC test-vector
+//!   validated), the primitive under the auth scheme.
+//! - [`auth`]: TESLA-style delayed-key-disclosure stream
+//!   authentication with a cheap, DoS-bounded verification path (§5.1).
+//! - [`fec`]: XOR-parity single-loss recovery (extension for lossy
+//!   links, keeping the producer stateless and speakers receive-only).
+//! - [`monitor`]: RFC 3550-style reception quality (jitter, loss,
+//!   reorder) — the numbers §5.3's management MIB would export.
+
+pub mod auth;
+pub mod crc;
+pub mod fec;
+pub mod monitor;
+pub mod packet;
+pub mod sha256;
+
+pub use auth::{AuthTrailer, StreamSigner, StreamVerifier, TRAILER_LEN};
+pub use fec::{FecRecoverer, ParityAccumulator, ParityPacket};
+pub use monitor::{QualityReport, StreamMonitor};
+pub use packet::{
+    decode, encode_announce, encode_control, encode_data, encode_parity, AnnouncePacket,
+    ControlPacket, DataPacket, Packet, StreamInfo, WireError, FLAG_AUTHENTICATED, FLAG_PRIORITY,
+    RECOMMENDED_MAX_PAYLOAD,
+};

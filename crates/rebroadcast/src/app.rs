@@ -1,0 +1,327 @@
+//! The "off-the-shelf audio application" driver.
+//!
+//! The paper's whole premise is that the application is unmodified and
+//! opaque — mpg123, the Real Audio player — and simply writes PCM to
+//! what it believes is `/dev/audio` (§1, §2.1). This module is that
+//! application for the simulator: it opens an [`AudioDevice`] (a real
+//! card or a VAD slave — it cannot tell which, by design), configures
+//! it with an ioctl, and writes a generated signal.
+//!
+//! Two pacing behaviours matter for the experiments:
+//!
+//! - [`AppPacing::WireSpeed`]: a file player decoding ahead of
+//!   playback, writing as fast as `write(2)` accepts — the §3.1 failure
+//!   mode when pointed at an unpaced VAD.
+//! - [`AppPacing::RealTime`]: a live source (network radio client)
+//!   producing audio as it arrives.
+
+use std::rc::Rc;
+
+use es_audio::convert::encode_samples;
+use es_audio::gen::Signal;
+use es_audio::AudioConfig;
+use es_sim::{shared, Shared, Sim, SimDuration, SimTime};
+use es_vad::{AudioDevice, DevError, Ioctl};
+
+/// How the application produces data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppPacing {
+    /// Write the whole clip as fast as the device accepts it.
+    WireSpeed,
+    /// Write one chunk per chunk-duration of virtual time.
+    RealTime,
+}
+
+/// Progress counters for the application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppStats {
+    /// Bytes accepted by the device so far.
+    pub bytes_written: u64,
+    /// Virtual time the final write completed, if finished.
+    pub finished_at: Option<SimTime>,
+    /// Number of short writes encountered (back-pressure events).
+    pub short_writes: u64,
+}
+
+struct AppState {
+    /// The open device — held like a process holds its file
+    /// descriptor, so the device outlives transient closures.
+    dev: Rc<AudioDevice>,
+    signal: Box<dyn Signal>,
+    cfg: AudioConfig,
+    remaining_frames: u64,
+    chunk_frames: u64,
+    stats: AppStats,
+    pacing: AppPacing,
+}
+
+/// Handle to a running audio application.
+#[derive(Clone)]
+pub struct AudioApp {
+    state: Shared<AppState>,
+}
+
+impl AudioApp {
+    /// Opens `dev`, configures it for `cfg`, and starts writing
+    /// `duration` worth of `signal` with the given pacing. Chunks are
+    /// 50 ms of audio each.
+    ///
+    /// Returns a handle for progress inspection.
+    pub fn start(
+        sim: &mut Sim,
+        dev: Rc<AudioDevice>,
+        cfg: AudioConfig,
+        signal: Box<dyn Signal>,
+        duration: SimDuration,
+        pacing: AppPacing,
+    ) -> Result<AudioApp, DevError> {
+        dev.open()?;
+        dev.ioctl(sim, Ioctl::SetInfo(cfg))?;
+        let total_frames =
+            (duration.as_nanos() as u128 * cfg.sample_rate as u128 / 1_000_000_000) as u64;
+        let chunk_frames = (cfg.sample_rate as u64 / 20).max(1);
+        let state = shared(AppState {
+            dev: dev.clone(),
+            signal,
+            cfg,
+            remaining_frames: total_frames,
+            chunk_frames,
+            stats: AppStats::default(),
+            pacing,
+        });
+        let app = AudioApp {
+            state: state.clone(),
+        };
+        pump(sim, dev, state, Vec::new());
+        Ok(app)
+    }
+
+    /// Progress snapshot.
+    pub fn stats(&self) -> AppStats {
+        self.state.borrow().stats
+    }
+
+    /// True once every frame has been accepted by the device.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().stats.finished_at.is_some()
+    }
+
+    /// The device the application writes to.
+    pub fn device(&self) -> Rc<AudioDevice> {
+        self.state.borrow().dev.clone()
+    }
+}
+
+/// Writes pending bytes, generating the next chunk as needed, and
+/// re-arms itself on back-pressure or pacing sleeps.
+fn pump(sim: &mut Sim, dev: Rc<AudioDevice>, state: Shared<AppState>, mut pending: Vec<u8>) {
+    loop {
+        if pending.is_empty() {
+            let (done, chunk, pacing, chunk_dur) = {
+                let mut st = state.borrow_mut();
+                if st.remaining_frames == 0 {
+                    st.stats.finished_at = Some(sim.now());
+                    (true, Vec::new(), st.pacing, SimDuration::ZERO)
+                } else {
+                    let frames = st.chunk_frames.min(st.remaining_frames);
+                    st.remaining_frames -= frames;
+                    let mut mono = vec![0.0f32; frames as usize];
+                    st.signal.fill(&mut mono);
+                    let mut interleaved =
+                        Vec::with_capacity(frames as usize * st.cfg.channels as usize);
+                    for v in mono {
+                        let s = es_audio::gen::f32_to_i16(v);
+                        for _ in 0..st.cfg.channels {
+                            interleaved.push(s);
+                        }
+                    }
+                    let bytes = encode_samples(&interleaved, st.cfg.encoding);
+                    let chunk_dur =
+                        SimDuration::from_nanos(st.cfg.nanos_for_bytes(bytes.len() as u64));
+                    (false, bytes, st.pacing, chunk_dur)
+                }
+            };
+            if done {
+                return;
+            }
+            pending = chunk;
+            // A real-time source waits out the chunk duration before
+            // producing the next one; the write itself happens now.
+            if pacing == AppPacing::RealTime {
+                let dev2 = dev.clone();
+                let state2 = state.clone();
+                let to_write = std::mem::take(&mut pending);
+                write_all_then(sim, dev2.clone(), state2.clone(), to_write, move |sim| {
+                    sim.schedule_in(chunk_dur, move |sim| {
+                        pump(sim, dev2, state2, Vec::new());
+                    });
+                });
+                return;
+            }
+        }
+        // Wire speed: write with retry-on-block, then loop for more.
+        let n = match dev.write(sim, &pending) {
+            Ok(n) => n,
+            Err(_) => return, // Device closed under us; stop quietly.
+        };
+        state.borrow_mut().stats.bytes_written += n as u64;
+        pending.drain(..n);
+        if !pending.is_empty() {
+            state.borrow_mut().stats.short_writes += 1;
+            let dev2 = dev.clone();
+            let state2 = state.clone();
+            dev.on_writable(move |sim| pump(sim, dev2, state2, pending));
+            return;
+        }
+    }
+}
+
+/// Writes `data` fully (retrying on back-pressure), then calls `then`.
+fn write_all_then(
+    sim: &mut Sim,
+    dev: Rc<AudioDevice>,
+    state: Shared<AppState>,
+    mut data: Vec<u8>,
+    then: impl FnOnce(&mut Sim) + 'static,
+) {
+    let n = match dev.write(sim, &data) {
+        Ok(n) => n,
+        Err(_) => return,
+    };
+    state.borrow_mut().stats.bytes_written += n as u64;
+    data.drain(..n);
+    if data.is_empty() {
+        then(sim);
+    } else {
+        state.borrow_mut().stats.short_writes += 1;
+        let dev2 = dev.clone();
+        dev.on_writable(move |sim| write_all_then(sim, dev2, state, data, then));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use es_audio::gen::Sine;
+    use es_vad::{vad_pair, VadMaster, VadMode};
+
+    fn drain_master(master: &VadMaster, sim: &mut Sim) -> u64 {
+        let mut total = 0u64;
+        for item in master.read(sim, usize::MAX) {
+            if let es_vad::MasterItem::Audio(b) = item {
+                total += b.len() as u64;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn wire_speed_app_finishes_fast() {
+        // §3.1: "the producer will essentially send the entire file at
+        // wire speed".
+        let mut sim = Sim::new(1);
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let slave = Rc::new(slave);
+        let app = AudioApp::start(
+            &mut sim,
+            slave,
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(30),
+            AppPacing::WireSpeed,
+        )
+        .unwrap();
+        // Keep the master drained so the app never deadlocks.
+        let mut drained = 0u64;
+        while !app.is_finished() {
+            if !sim.step() {
+                break;
+            }
+            drained += drain_master(&master, &mut sim);
+        }
+        // Let the kernel thread forward the ring's final contents.
+        sim.run_for(SimDuration::from_millis(50));
+        drained += drain_master(&master, &mut sim);
+        let stats = app.stats();
+        assert!(app.is_finished());
+        // 30s of CD audio = 5,292,000 bytes, delivered in < 1s virtual.
+        assert_eq!(stats.bytes_written, 5_292_000);
+        assert!(stats.finished_at.unwrap() < SimTime::from_secs(1));
+        assert!(stats.short_writes > 0, "back-pressure must have occurred");
+        let leftover = master.stats().buffered_audio_bytes as u64;
+        assert!(drained + leftover >= 5_292_000 - 8_820 * 2);
+    }
+
+    #[test]
+    fn real_time_app_paces_writes() {
+        let mut sim = Sim::new(1);
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let slave = Rc::new(slave);
+        let app = AudioApp::start(
+            &mut sim,
+            slave,
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(2),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(1));
+        drain_master(&master, &mut sim);
+        // Halfway through: roughly half the bytes written.
+        let written = app.stats().bytes_written;
+        let expected = AudioConfig::CD.bytes_per_second();
+        assert!(
+            (written as i64 - expected as i64).unsigned_abs() < expected / 5,
+            "written {written} expected ~{expected}"
+        );
+        assert!(!app.is_finished());
+        sim.run_until(SimTime::from_secs(3));
+        drain_master(&master, &mut sim);
+        sim.run_until(SimTime::from_secs(4));
+        assert!(app.is_finished());
+        let finished = app.stats().finished_at.unwrap();
+        assert!(
+            finished >= SimTime::from_millis(1_950),
+            "finished too early: {finished}"
+        );
+    }
+
+    #[test]
+    fn app_respects_configured_encoding() {
+        let mut sim = Sim::new(1);
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(5),
+        });
+        let slave = Rc::new(slave);
+        let _app = AudioApp::start(
+            &mut sim,
+            slave,
+            AudioConfig::PHONE,
+            Box::new(Sine::new(300.0, 8_000, 0.5)),
+            SimDuration::from_secs(1),
+            AppPacing::WireSpeed,
+        )
+        .unwrap();
+        sim.run_for(SimDuration::from_millis(100));
+        let items = master.read(&mut sim, usize::MAX);
+        // First item is the PHONE config forwarded by the ioctl.
+        assert!(matches!(
+            items.first(),
+            Some(es_vad::MasterItem::Config(c)) if *c == AudioConfig::PHONE
+        ));
+        let audio: u64 = items
+            .iter()
+            .map(|i| match i {
+                es_vad::MasterItem::Audio(b) => b.len() as u64,
+                _ => 0,
+            })
+            .sum();
+        // One second of 8 kHz mono ulaw = 8000 bytes.
+        assert_eq!(audio, 8_000);
+    }
+}

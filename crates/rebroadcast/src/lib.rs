@@ -1,0 +1,23 @@
+//! # es-rebroadcast — the Audio Stream Rebroadcaster (producer side)
+//!
+//! The user-level half of the paper's producer (Figure 3): an
+//! application plays into the VAD slave; this crate reads the master,
+//! paces the stream to real time, compresses it per policy, and
+//! multicasts it to the Ethernet Speakers with periodic control
+//! packets.
+//!
+//! - [`app`]: the stand-in for the unmodified audio application.
+//! - [`rate`]: the §3.1 rate limiter ("why does a 5 minute song take
+//!   5 minutes?").
+//! - [`policy`]: §2.2's selective compression.
+//! - [`producer`]: the stateless single-threaded rebroadcaster itself.
+
+pub mod app;
+pub mod policy;
+pub mod producer;
+pub mod rate;
+
+pub use app::{AppPacing, AppStats, AudioApp};
+pub use policy::CompressionPolicy;
+pub use producer::{ProducerStats, Rebroadcaster, RebroadcasterConfig};
+pub use rate::RateLimiter;

@@ -1,0 +1,599 @@
+//! The Audio Stream Rebroadcaster (§2.2, §2.3).
+//!
+//! "The Rebroadcaster is just a single-threaded process that collects
+//! audio from the master-side VAD and delivers it to the LAN." It
+//! keeps *no state about the speakers*: control packets carrying the
+//! audio configuration and the producer wall clock go out at a fixed
+//! interval; data packets carry a play deadline on the producer
+//! timeline. Everything a late joiner needs arrives within one control
+//! interval.
+//!
+//! Responsibilities modelled here:
+//! - drain the [`VadMaster`] (audio + in-band configuration updates),
+//! - pace sends with the [`RateLimiter`] (§3.1),
+//! - pick a codec per the [`CompressionPolicy`] (§2.2) and encode,
+//! - optionally bill encode work to a [`SimCpu`] (the Figure 4 CPU
+//!   model) — the send then happens when the CPU finishes, which is
+//!   also the compression latency the paper mentions,
+//! - multicast data + periodic control packets, optionally signing
+//!   them (§5.1).
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use es_audio::convert::decode_samples;
+use es_audio::AudioConfig;
+use es_codec::{CodecId, Codecs};
+use es_net::{Lan, McastGroup, NodeId};
+use es_proto::auth::StreamSigner;
+use es_proto::{encode_control, encode_data, ControlPacket, DataPacket, FLAG_AUTHENTICATED};
+use es_sim::{shared, RepeatingTimer, Shared, Sim, SimCpu, SimDuration, SimTime};
+use es_vad::{MasterItem, VadMaster};
+
+use crate::policy::CompressionPolicy;
+use crate::rate::RateLimiter;
+
+/// Tuning knobs for one rebroadcast stream.
+pub struct RebroadcasterConfig {
+    /// Stream identifier carried in every packet.
+    pub stream_id: u16,
+    /// Multicast group for this channel.
+    pub group: McastGroup,
+    /// Control packet period (§2.3's "regular intervals").
+    pub control_interval: SimDuration,
+    /// Fixed playout delay granted to receivers: data packet `play_at`
+    /// deadlines sit this far behind the producer stream clock.
+    pub playout_delay: SimDuration,
+    /// Rate limiter (disable to reproduce the §3.1 failure).
+    pub rate_limiter: RateLimiter,
+    /// Compression policy.
+    pub policy: CompressionPolicy,
+    /// Stream flags to advertise (e.g. [`es_proto::FLAG_PRIORITY`]).
+    pub flags: u16,
+    /// Optional CPU model billed for encode work.
+    pub cpu: Option<Shared<SimCpu>>,
+    /// Optional signer; when set, packets carry auth trailers and the
+    /// control flags advertise [`FLAG_AUTHENTICATED`].
+    pub signer: Option<Rc<StreamSigner>>,
+    /// Auth interval length (virtual time per key-chain interval).
+    pub auth_interval: SimDuration,
+    /// Emit one XOR-parity packet per this many data packets (single-
+    /// loss FEC, an extension for lossy links). `None` disables FEC.
+    pub fec_group: Option<u8>,
+}
+
+impl RebroadcasterConfig {
+    /// Sensible defaults for a channel: 500 ms control interval,
+    /// 200 ms playout delay, paper-default compression, rate limiting
+    /// on.
+    pub fn new(stream_id: u16, group: McastGroup) -> Self {
+        RebroadcasterConfig {
+            stream_id,
+            group,
+            control_interval: SimDuration::from_millis(500),
+            playout_delay: SimDuration::from_millis(200),
+            rate_limiter: RateLimiter::new(),
+            policy: CompressionPolicy::paper_default(),
+            flags: 0,
+            cpu: None,
+            signer: None,
+            auth_interval: SimDuration::from_millis(500),
+            fec_group: None,
+        }
+    }
+}
+
+/// Counters for one stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProducerStats {
+    /// Data packets sent.
+    pub data_packets: u64,
+    /// Control packets sent.
+    pub control_packets: u64,
+    /// Raw audio bytes consumed from the VAD.
+    pub audio_bytes_in: u64,
+    /// Encoded payload bytes sent.
+    pub payload_bytes_out: u64,
+    /// Total encode work units billed.
+    pub encode_work_units: u64,
+    /// Configuration changes observed.
+    pub config_changes: u64,
+}
+
+struct ProducerState {
+    cfg: RebroadcasterConfig,
+    stream_cfg: AudioConfig,
+    have_cfg: bool,
+    codec: CodecId,
+    quality: u8,
+    /// Cumulative stream duration in nanoseconds (survives config
+    /// changes, unlike a byte counter).
+    stream_pos_ns: u128,
+    /// Producer-timeline origin of the stream (first byte plays at
+    /// `origin + playout_delay`).
+    origin: Option<SimTime>,
+    data_seq: u32,
+    control_seq: u32,
+    stats: ProducerStats,
+    parity_acc: Option<es_proto::ParityAccumulator>,
+}
+
+/// A running rebroadcaster for one stream.
+#[derive(Clone)]
+pub struct Rebroadcaster {
+    state: Shared<ProducerState>,
+    codecs: Rc<Codecs>,
+    lan: Lan,
+    node: NodeId,
+    master: VadMaster,
+}
+
+impl Rebroadcaster {
+    /// Starts the rebroadcaster: hooks the VAD master, arms the control
+    /// packet timer, and begins forwarding.
+    pub fn start(
+        sim: &mut Sim,
+        lan: Lan,
+        node: NodeId,
+        master: VadMaster,
+        cfg: RebroadcasterConfig,
+    ) -> Rebroadcaster {
+        let control_interval = cfg.control_interval;
+        let parity_acc = cfg.fec_group.map(es_proto::ParityAccumulator::new);
+        let state = shared(ProducerState {
+            stream_cfg: AudioConfig::default(),
+            have_cfg: false,
+            codec: CodecId::Pcm,
+            quality: 0,
+            stream_pos_ns: 0,
+            origin: None,
+            data_seq: 0,
+            control_seq: 0,
+            stats: ProducerStats::default(),
+            parity_acc,
+            cfg,
+        });
+        let rb = Rebroadcaster {
+            state,
+            codecs: Rc::new(Codecs::new()),
+            lan,
+            node,
+            master,
+        };
+        // Periodic control packets (§2.3). They start flowing once the
+        // first configuration arrives from the VAD.
+        let rb2 = rb.clone();
+        let _timer = RepeatingTimer::start(sim, control_interval, move |sim| {
+            rb2.send_control(sim);
+        });
+        // Intentionally leak the timer handle: the rebroadcaster runs
+        // for the life of the simulation. (Stopping a stream is modelled
+        // by dropping the whole Sim.)
+        std::mem::forget(_timer);
+        rb.arm_reader(sim);
+        rb
+    }
+
+    fn arm_reader(&self, sim: &mut Sim) {
+        let rb = self.clone();
+        self.master.on_readable(move |sim| {
+            rb.drain(sim);
+            rb.arm_reader(sim);
+        });
+        // Drain anything already queued.
+        self.drain(sim);
+    }
+
+    fn drain(&self, sim: &mut Sim) {
+        let items = self.master.read(sim, usize::MAX);
+        for item in items {
+            match item {
+                MasterItem::Config(c) => {
+                    let mut st = self.state.borrow_mut();
+                    st.stream_cfg = c;
+                    if st.have_cfg {
+                        st.stats.config_changes += 1;
+                    }
+                    st.have_cfg = true;
+                    let (codec, quality) = st.cfg.policy.select(&c);
+                    st.codec = codec;
+                    st.quality = quality;
+                    drop(st);
+                    // Announce the change immediately as well as on the
+                    // periodic timer.
+                    self.send_control(sim);
+                }
+                MasterItem::Audio(block) => {
+                    self.queue_audio(sim, block);
+                }
+            }
+        }
+    }
+
+    /// Paces, encodes and schedules one block of audio.
+    fn queue_audio(&self, sim: &mut Sim, block: Vec<u8>) {
+        let (send_at, play_at, cfg, codec, quality) = {
+            let mut st = self.state.borrow_mut();
+            if !st.have_cfg {
+                // Data before any config: drop (cannot describe it).
+                return;
+            }
+            st.stats.audio_bytes_in += block.len() as u64;
+            let cfg = st.stream_cfg;
+            let origin = *st.origin.get_or_insert(sim.now());
+            let playout = st.cfg.playout_delay;
+            let play_at = origin + SimDuration::from_nanos(st.stream_pos_ns as u64) + playout;
+            st.stream_pos_ns += cfg.nanos_for_bytes(block.len() as u64) as u128;
+            let send_at = st.cfg.rate_limiter.pace(sim.now(), &cfg, block.len());
+            (send_at, play_at, cfg, st.codec, st.quality)
+        };
+        let rb = self.clone();
+        sim.schedule_at(send_at, move |sim| {
+            rb.encode_and_send(sim, block, cfg, codec, quality, play_at);
+        });
+    }
+
+    fn encode_and_send(
+        &self,
+        sim: &mut Sim,
+        block: Vec<u8>,
+        cfg: AudioConfig,
+        codec: CodecId,
+        quality: u8,
+        play_at: SimTime,
+    ) {
+        // The VAD hands us the raw byte stream in the app's encoding;
+        // codecs work on linear samples.
+        let samples = decode_samples(&block, cfg.encoding);
+        let enc = self.codecs.encode(codec, &samples, cfg.channels, quality);
+        let work = enc.work_units;
+        {
+            let mut st = self.state.borrow_mut();
+            st.stats.encode_work_units += work;
+        }
+        // Bill the CPU; the packet leaves when the encode finishes.
+        let done_at = {
+            let st = self.state.borrow();
+            match &st.cfg.cpu {
+                Some(cpu) => cpu.borrow_mut().submit(sim.now(), work_to_cycles(work)),
+                None => sim.now(),
+            }
+        };
+        let rb = self.clone();
+        sim.schedule_at(done_at, move |sim| {
+            let (seq, stream_id, group) = {
+                let mut st = rb.state.borrow_mut();
+                let seq = st.data_seq;
+                st.data_seq += 1;
+                st.stats.data_packets += 1;
+                st.stats.payload_bytes_out += enc.bytes.len() as u64;
+                (seq, st.cfg.stream_id, st.cfg.group)
+            };
+            let pkt = DataPacket {
+                stream_id,
+                seq,
+                play_at_us: play_at.as_micros(),
+                codec: codec.to_wire(),
+                payload: Bytes::from(enc.bytes),
+            };
+            let mut bytes = encode_data(&pkt).to_vec();
+            rb.maybe_sign(sim, &mut bytes);
+            rb.lan.multicast(sim, rb.node, group, Bytes::from(bytes));
+            // FEC: absorb the packet; a completed group emits parity.
+            let parity = {
+                let mut st = rb.state.borrow_mut();
+                st.parity_acc.as_mut().and_then(|acc| acc.absorb(&pkt))
+            };
+            if let Some(parity) = parity {
+                let mut bytes = es_proto::encode_parity(&parity).to_vec();
+                rb.maybe_sign(sim, &mut bytes);
+                rb.lan.multicast(sim, rb.node, group, Bytes::from(bytes));
+            }
+        });
+    }
+
+    fn send_control(&self, sim: &mut Sim) {
+        let pkt = {
+            let mut st = self.state.borrow_mut();
+            if !st.have_cfg {
+                return;
+            }
+            let seq = st.control_seq;
+            st.control_seq += 1;
+            st.stats.control_packets += 1;
+            let mut flags = st.cfg.flags;
+            if st.cfg.signer.is_some() {
+                flags |= FLAG_AUTHENTICATED;
+            }
+            ControlPacket {
+                stream_id: st.cfg.stream_id,
+                seq,
+                producer_time_us: sim.now().as_micros(),
+                config: st.stream_cfg,
+                codec: st.codec.to_wire(),
+                quality: st.quality,
+                control_interval_ms: st.cfg.control_interval.as_millis() as u16,
+                flags,
+            }
+        };
+        let group = self.state.borrow().cfg.group;
+        let mut bytes = encode_control(&pkt).to_vec();
+        self.maybe_sign(sim, &mut bytes);
+        self.lan
+            .multicast(sim, self.node, group, Bytes::from(bytes));
+    }
+
+    /// Appends an auth trailer when signing is configured.
+    fn maybe_sign(&self, sim: &mut Sim, bytes: &mut Vec<u8>) {
+        let st = self.state.borrow();
+        let Some(signer) = st.cfg.signer.as_ref() else {
+            return;
+        };
+        let interval_len = st.cfg.auth_interval.as_nanos().max(1);
+        let interval = (sim.now().as_nanos() / interval_len + 1) as u32;
+        let interval = interval.min(signer.intervals());
+        let trailer = signer.sign(interval, bytes);
+        bytes.extend_from_slice(&trailer.encode());
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ProducerStats {
+        self.state.borrow().stats
+    }
+
+    /// The stream's current audio configuration (meaningful once
+    /// [`ProducerStats::control_packets`] is non-zero).
+    pub fn stream_config(&self) -> AudioConfig {
+        self.state.borrow().stream_cfg
+    }
+}
+
+/// Converts codec work units to Geode-class CPU cycles.
+///
+/// Calibration: OVL's direct O(N²) MDCT performs ~126 M multiply-
+/// accumulate work units per second of CD stereo (measured by
+/// `es-codec`'s accounting at 50 ms packets), roughly 4.8× the
+/// arithmetic of the FFT-based codec the paper used. Figure 4 implies
+/// one Vorbis CD stream costs ≈ 11% of the 233 MHz Geode
+/// (≈ 26 M cycles/s), so each OVL work unit is billed 26 M / 126 M ≈
+/// 0.21 cycles. `es-bench::calib` documents the derivation.
+pub fn work_to_cycles(work_units: u64) -> u64 {
+    work_units * 21 / 100
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppPacing, AudioApp};
+    use es_audio::gen::Sine;
+    use es_net::{Datagram, LanConfig};
+    use es_proto::Packet;
+    use es_vad::{vad_pair, VadMode};
+
+    /// Full producer-side pipeline: app → VAD → rebroadcaster → LAN.
+    fn rig(
+        sim: &mut Sim,
+        rl: RateLimiter,
+        policy: CompressionPolicy,
+    ) -> (Rebroadcaster, Shared<Vec<(SimTime, Packet)>>, AudioApp) {
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let log: Shared<Vec<(SimTime, Packet)>> = shared(Vec::new());
+        let l = log.clone();
+        lan.set_handler(listener, move |sim: &mut Sim, dg: Datagram| {
+            if let Ok(p) = es_proto::decode(&dg.payload) {
+                l.borrow_mut().push((sim.now(), p));
+            }
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut rcfg = RebroadcasterConfig::new(7, group);
+        rcfg.rate_limiter = rl;
+        rcfg.policy = policy;
+        let rb = Rebroadcaster::start(sim, lan.clone(), producer, master, rcfg);
+        let app = AudioApp::start(
+            sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(2),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        (rb, log, app)
+    }
+
+    #[test]
+    fn control_packets_flow_periodically_with_config() {
+        let mut sim = Sim::new(1);
+        let (_rb, log, _app) = rig(&mut sim, RateLimiter::new(), CompressionPolicy::Never);
+        sim.run_until(SimTime::from_secs(3));
+        let log = log.borrow();
+        let controls: Vec<&ControlPacket> = log
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Control(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        // ~1 immediate + every 500 ms over 3 s.
+        assert!(controls.len() >= 6, "{} control packets", controls.len());
+        for c in &controls {
+            assert_eq!(c.config, AudioConfig::CD);
+            assert_eq!(c.stream_id, 7);
+            assert_eq!(c.control_interval_ms, 500);
+        }
+        // Wall clock advances monotonically.
+        assert!(controls
+            .windows(2)
+            .all(|w| w[1].producer_time_us >= w[0].producer_time_us));
+    }
+
+    #[test]
+    fn data_is_rate_limited_to_real_time() {
+        let mut sim = Sim::new(1);
+        let (rb, log, _app) = rig(&mut sim, RateLimiter::new(), CompressionPolicy::Never);
+        sim.run_until(SimTime::from_secs(3));
+        let stats = rb.stats();
+        // 2 s of CD audio in, all of it out as PCM.
+        assert_eq!(stats.audio_bytes_in, 352_800);
+        assert_eq!(stats.payload_bytes_out, 352_800);
+        let log = log.borrow();
+        let data_times: Vec<SimTime> = log
+            .iter()
+            .filter_map(|(t, p)| match p {
+                Packet::Data(_) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        // Sends spread over ~2 s, not a burst.
+        let span = *data_times.last().unwrap() - data_times[0];
+        assert!(
+            span >= SimDuration::from_millis(1_700),
+            "span {span} too short"
+        );
+    }
+
+    #[test]
+    fn play_deadlines_are_monotone_and_feasible() {
+        let mut sim = Sim::new(1);
+        let (_rb, log, _app) = rig(&mut sim, RateLimiter::new(), CompressionPolicy::Never);
+        sim.run_until(SimTime::from_secs(3));
+        let log = log.borrow();
+        let mut last = 0u64;
+        for (arrived, p) in log.iter() {
+            if let Packet::Data(d) = p {
+                assert!(d.play_at_us >= last, "deadlines must be monotone");
+                last = d.play_at_us;
+                // A packet must arrive before its deadline.
+                assert!(
+                    arrived.as_micros() <= d.play_at_us,
+                    "packet for {} arrived at {}",
+                    d.play_at_us,
+                    arrived.as_micros()
+                );
+            }
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn compression_policy_shrinks_payload() {
+        let mut sim = Sim::new(1);
+        let (rb, log, _app) = rig(
+            &mut sim,
+            RateLimiter::new(),
+            CompressionPolicy::paper_default(),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let stats = rb.stats();
+        assert!(
+            stats.payload_bytes_out * 2 < stats.audio_bytes_in,
+            "OVL at max quality must at least halve a sine: {} -> {}",
+            stats.audio_bytes_in,
+            stats.payload_bytes_out
+        );
+        let log = log.borrow();
+        let codecs: std::collections::HashSet<u8> = log
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Data(d) => Some(d.codec),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(codecs.len(), 1);
+        assert!(codecs.contains(&CodecId::Ovl.to_wire()));
+    }
+
+    #[test]
+    fn without_rate_limiter_data_bursts_at_wire_speed() {
+        // The §3.1 pathology, producer side: with a wire-speed app and
+        // no limiter, everything leaves almost at once.
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let times: Shared<Vec<SimTime>> = shared(Vec::new());
+        let t2 = times.clone();
+        lan.set_handler(listener, move |sim: &mut Sim, dg: Datagram| {
+            if let Ok(Packet::Data(_)) = es_proto::decode(&dg.payload) {
+                t2.borrow_mut().push(sim.now());
+            }
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut rcfg = RebroadcasterConfig::new(1, group);
+        rcfg.rate_limiter = RateLimiter::disabled();
+        rcfg.policy = CompressionPolicy::Never;
+        let _rb = Rebroadcaster::start(&mut sim, lan.clone(), producer, master, rcfg);
+        let _app = AudioApp::start(
+            &mut sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(10),
+            AppPacing::WireSpeed,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(12));
+        let times = times.borrow();
+        assert!(times.len() > 100);
+        let span = *times.last().unwrap() - times[0];
+        // 10 seconds of audio delivered in far less than 2 seconds.
+        assert!(span < SimDuration::from_secs(2), "span {span}");
+    }
+
+    #[test]
+    fn signed_stream_carries_trailers() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let payloads: Shared<Vec<Vec<u8>>> = shared(Vec::new());
+        let p2 = payloads.clone();
+        lan.set_handler(listener, move |_sim: &mut Sim, dg: Datagram| {
+            p2.borrow_mut().push(dg.payload.to_vec());
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let signer = Rc::new(StreamSigner::new(b"k", 1_000, 2));
+        let mut rcfg = RebroadcasterConfig::new(1, group);
+        rcfg.signer = Some(signer.clone());
+        rcfg.policy = CompressionPolicy::Never;
+        let _rb = Rebroadcaster::start(&mut sim, lan.clone(), producer, master, rcfg);
+        let _app = AudioApp::start(
+            &mut sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_millis(500),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        sim.run_until(SimTime::from_secs(2));
+        let payloads = payloads.borrow();
+        assert!(!payloads.is_empty());
+        for raw in payloads.iter() {
+            // Trailer-stripped prefix parses as a packet; the packet
+            // alone does not (CRC covers only the packet body).
+            let body = &raw[..raw.len() - es_proto::TRAILER_LEN];
+            assert!(es_proto::decode(body).is_ok());
+            let trailer = es_proto::AuthTrailer::decode(&raw[raw.len() - es_proto::TRAILER_LEN..]);
+            assert!(trailer.is_some());
+            if let Ok(Packet::Control(c)) = es_proto::decode(body) {
+                assert!(c.flags & FLAG_AUTHENTICATED != 0);
+            }
+        }
+    }
+}

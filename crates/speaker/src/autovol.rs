@@ -1,0 +1,275 @@
+//! Automatic volume control from ambient noise (§5.2).
+//!
+//! "One example will be to set the volume level automatically depending
+//! on the ambient noise level and the type of audio stream. So for
+//! background music the ES would lower the volume if the area is quiet
+//! ... if an announcement is being made, then the volume should be
+//! increased if there is a lot of background noise." The speaker uses
+//! its microphone input, which "allows the ES to compare its own output
+//! against the ambient levels".
+//!
+//! The microphone is simulated: it hears the room's ambient noise
+//! profile plus a coupling fraction of the speaker's own output, and
+//! the control loop estimates the ambient level by subtracting the
+//! known output power — exactly the comparison the paper describes.
+
+use es_audio::mix::db_to_gain;
+#[cfg(test)]
+use es_audio::mix::gain_to_db;
+
+/// What kind of content the channel carries, which flips the control
+/// law's direction for quiet rooms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentKind {
+    /// Background music: follow the room down — quiet room, quiet
+    /// music.
+    BackgroundMusic,
+    /// Announcements: fight the room — noisy room, louder speech.
+    Announcement,
+}
+
+/// Auto-volume configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoVolumeConfig {
+    /// Content type driving the control law.
+    pub kind: ContentKind,
+    /// Gain applied at the reference ambient level, in dB.
+    pub base_gain_db: f64,
+    /// Ambient RMS regarded as a "normal" room.
+    pub reference_ambient: f64,
+    /// dB of gain change per dB of ambient change (positive; the sign
+    /// comes from [`ContentKind`]).
+    pub slope: f64,
+    /// Gain bounds in dB.
+    pub min_gain_db: f64,
+    /// Upper gain bound in dB.
+    pub max_gain_db: f64,
+    /// Per-update smoothing factor in `(0, 1]`.
+    pub smoothing: f64,
+    /// Fraction of the speaker's own output power the microphone picks
+    /// up.
+    pub self_coupling: f64,
+}
+
+impl AutoVolumeConfig {
+    /// Defaults for background music.
+    pub fn music() -> Self {
+        AutoVolumeConfig {
+            kind: ContentKind::BackgroundMusic,
+            base_gain_db: 0.0,
+            reference_ambient: 0.05,
+            slope: 0.8,
+            min_gain_db: -30.0,
+            max_gain_db: 6.0,
+            smoothing: 0.25,
+            self_coupling: 0.1,
+        }
+    }
+
+    /// Defaults for announcements.
+    pub fn announcement() -> Self {
+        AutoVolumeConfig {
+            kind: ContentKind::Announcement,
+            base_gain_db: 0.0,
+            reference_ambient: 0.05,
+            slope: 1.0,
+            min_gain_db: -6.0,
+            max_gain_db: 18.0,
+            smoothing: 0.5,
+            self_coupling: 0.1,
+        }
+    }
+}
+
+/// The ambient-tracking gain controller.
+#[derive(Debug, Clone)]
+pub struct AutoVolume {
+    cfg: AutoVolumeConfig,
+    gain_db: f64,
+    last_ambient_estimate: f64,
+}
+
+impl AutoVolume {
+    /// Creates a controller at its base gain.
+    pub fn new(cfg: AutoVolumeConfig) -> Self {
+        AutoVolume {
+            gain_db: cfg.base_gain_db,
+            last_ambient_estimate: cfg.reference_ambient,
+            cfg,
+        }
+    }
+
+    /// The current gain as a linear factor.
+    pub fn gain(&self) -> f64 {
+        db_to_gain(self.gain_db)
+    }
+
+    /// The current gain in dB.
+    pub fn gain_db(&self) -> f64 {
+        self.gain_db
+    }
+
+    /// The most recent ambient estimate (RMS, full scale).
+    pub fn ambient_estimate(&self) -> f64 {
+        self.last_ambient_estimate
+    }
+
+    /// Feeds one control period: `mic_rms` is what the microphone
+    /// heard, `output_rms` what the speaker was playing (post-gain).
+    /// Updates and returns the linear gain.
+    pub fn update(&mut self, mic_rms: f64, output_rms: f64) -> f64 {
+        // Powers add; subtract our own contribution to estimate the
+        // room ("compare its own output against the ambient levels").
+        let self_power = (output_rms * self.cfg.self_coupling).powi(2);
+        let ambient_power = (mic_rms * mic_rms - self_power).max(0.0);
+        let ambient = ambient_power.sqrt().max(1e-4);
+        self.last_ambient_estimate = ambient;
+
+        let ambient_db_rel = 20.0 * (ambient / self.cfg.reference_ambient).log10();
+        let direction = match self.cfg.kind {
+            // Louder room -> louder announcements.
+            ContentKind::Announcement => 1.0,
+            // Quieter room -> quieter music (equivalently: louder room,
+            // somewhat louder music, but tracking downward matters
+            // most).
+            ContentKind::BackgroundMusic => 1.0,
+        };
+        let target = (self.cfg.base_gain_db + direction * self.cfg.slope * ambient_db_rel)
+            .clamp(self.cfg.min_gain_db, self.cfg.max_gain_db);
+        self.gain_db += (target - self.gain_db) * self.cfg.smoothing;
+        self.gain_db = self
+            .gain_db
+            .clamp(self.cfg.min_gain_db, self.cfg.max_gain_db);
+        db_to_gain(self.gain_db)
+    }
+}
+
+/// A piecewise-constant ambient noise profile for scenarios: "the
+/// factory floor goes loud at 9:00".
+#[derive(Debug, Clone, Default)]
+pub struct AmbientProfile {
+    /// `(from_second, rms_level)` steps, sorted by time.
+    steps: Vec<(f64, f64)>,
+}
+
+impl AmbientProfile {
+    /// A constant ambient level.
+    pub fn constant(rms: f64) -> Self {
+        AmbientProfile {
+            steps: vec![(0.0, rms)],
+        }
+    }
+
+    /// Builds a profile from `(from_second, rms)` steps (sorted
+    /// internally).
+    pub fn steps(mut steps: Vec<(f64, f64)>) -> Self {
+        steps.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN times"));
+        AmbientProfile { steps }
+    }
+
+    /// The ambient RMS at `t` seconds.
+    pub fn level_at(&self, t: f64) -> f64 {
+        let mut level = 0.0;
+        for &(from, rms) in &self.steps {
+            if t >= from {
+                level = rms;
+            } else {
+                break;
+            }
+        }
+        level
+    }
+}
+
+/// Simulates the microphone: ambient plus coupled self-output, powers
+/// added.
+pub fn microphone_rms(ambient_rms: f64, output_rms: f64, self_coupling: f64) -> f64 {
+    (ambient_rms * ambient_rms + (output_rms * self_coupling).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(av: &mut AutoVolume, ambient: f64, output: f64, rounds: usize) -> f64 {
+        let mut g = av.gain();
+        for _ in 0..rounds {
+            let mic = microphone_rms(ambient, output * g, av.cfg.self_coupling);
+            g = av.update(mic, output * g);
+        }
+        g
+    }
+
+    #[test]
+    fn announcements_get_louder_in_noise() {
+        let mut av = AutoVolume::new(AutoVolumeConfig::announcement());
+        let quiet = settle(&mut av, 0.05, 0.2, 50);
+        let mut av = AutoVolume::new(AutoVolumeConfig::announcement());
+        let noisy = settle(&mut av, 0.4, 0.2, 50);
+        assert!(
+            noisy > quiet * 2.0,
+            "noisy room must raise announcement gain: {quiet} -> {noisy}"
+        );
+    }
+
+    #[test]
+    fn music_gets_quieter_in_quiet_rooms() {
+        let mut av = AutoVolume::new(AutoVolumeConfig::music());
+        let normal = settle(&mut av, 0.05, 0.2, 50);
+        let mut av = AutoVolume::new(AutoVolumeConfig::music());
+        let silent = settle(&mut av, 0.005, 0.2, 50);
+        assert!(
+            silent < normal / 2.0,
+            "quiet room must lower music gain: {normal} -> {silent}"
+        );
+    }
+
+    #[test]
+    fn gain_respects_bounds() {
+        let mut av = AutoVolume::new(AutoVolumeConfig::announcement());
+        let g = settle(&mut av, 0.99, 0.2, 200);
+        assert!(gain_to_db(g) <= 18.0 + 1e-9);
+        let mut av = AutoVolume::new(AutoVolumeConfig::music());
+        let g = settle(&mut av, 1e-6, 0.2, 200);
+        assert!(gain_to_db(g) >= -30.0 - 1e-9);
+    }
+
+    #[test]
+    fn self_output_is_subtracted() {
+        // A speaker alone in a silent room must not chase its own
+        // output upward.
+        let mut av = AutoVolume::new(AutoVolumeConfig::announcement());
+        let g0 = av.gain();
+        for _ in 0..50 {
+            let out = 0.5 * av.gain();
+            let mic = microphone_rms(0.0, out, av.cfg.self_coupling);
+            av.update(mic, out);
+        }
+        assert!(
+            av.gain() <= g0,
+            "gain crept up on self-noise: {} -> {}",
+            g0,
+            av.gain()
+        );
+        assert!(av.ambient_estimate() < 0.01);
+    }
+
+    #[test]
+    fn ambient_profile_steps() {
+        let p = AmbientProfile::steps(vec![(10.0, 0.3), (0.0, 0.05), (20.0, 0.1)]);
+        assert_eq!(p.level_at(0.0), 0.05);
+        assert_eq!(p.level_at(9.9), 0.05);
+        assert_eq!(p.level_at(10.0), 0.3);
+        assert_eq!(p.level_at(19.9), 0.3);
+        assert_eq!(p.level_at(25.0), 0.1);
+        assert_eq!(AmbientProfile::default().level_at(5.0), 0.0);
+        assert_eq!(AmbientProfile::constant(0.2).level_at(99.0), 0.2);
+    }
+
+    #[test]
+    fn microphone_adds_powers() {
+        let m = microphone_rms(0.3, 0.4, 1.0);
+        assert!((m - 0.5).abs() < 1e-9);
+        assert_eq!(microphone_rms(0.3, 0.4, 0.0), 0.3);
+    }
+}

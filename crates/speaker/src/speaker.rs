@@ -1,0 +1,913 @@
+//! The Ethernet Speaker — the receive-only playback device (§2.3, §2.4).
+//!
+//! "Our Ethernet Speakers function like radios, i.e., receive-only
+//! devices": the speaker joins a multicast group, *waits for a control
+//! packet* ("The Ethernet Speaker has to wait till it receives a
+//! control packet before it can start playing the audio stream"),
+//! learns the producer wall clock, and then plays each data packet at
+//! its deadline — sleeping, playing, or discarding per §3.2's rule.
+//!
+//! The playback path is the full §3.4 pipeline: receive → (verify) →
+//! decode (billable to a Geode-class CPU model) → write to the audio
+//! device, whose ring and DMA pacing supply the final rate limiting.
+//! Receiver-side buffer overflow (the §3.1 pathology: an unpaced
+//! producer blasts a song at wire speed and "you will only hear the
+//! first few seconds") shows up here as ring-full drops.
+
+use std::rc::Rc;
+
+use es_audio::mix::apply_gain;
+use es_audio::AudioConfig;
+use es_codec::{CodecId, Codecs};
+use es_net::{Datagram, Lan, McastGroup, NodeId};
+use es_proto::auth::{StreamVerifier, VerifierStats};
+use es_proto::{Packet, TRAILER_LEN};
+use es_sim::{shared, Shared, Sim, SimCpu, SimDuration, SimTime};
+use es_vad::{AudioDevice, HwDriver, Ioctl, OutputTap};
+
+use crate::autovol::{AmbientProfile, AutoVolume, AutoVolumeConfig};
+use crate::sync::{decide, ClockSync, PlayDecision};
+
+/// Speaker tuning knobs.
+pub struct SpeakerConfig {
+    /// Display name (also the LAN node name).
+    pub name: String,
+    /// Channel group to tune at startup.
+    pub group: McastGroup,
+    /// §3.2's epsilon: lateness tolerated before data is discarded.
+    pub epsilon: SimDuration,
+    /// Audio device ring capacity in bytes (§3.4's buffer budget).
+    pub device_ring_capacity: usize,
+    /// Audio device block length in milliseconds (§3.4's knob: "by
+    /// reducing the buffer size, each of the stages ... finishes
+    /// faster").
+    pub device_block_ms: u64,
+    /// Optional CPU model billed for decode work (the slow-Geode
+    /// pipeline of §3.4).
+    pub cpu: Option<Shared<SimCpu>>,
+    /// Optional trust anchor enabling stream authentication (§5.1).
+    pub auth_anchor: Option<[u8; 32]>,
+    /// Fixed volume gain (linear).
+    pub volume: f64,
+    /// Optional ambient-tracking automatic volume (§5.2).
+    pub auto_volume: Option<(AutoVolumeConfig, AmbientProfile)>,
+    /// When set, the playback path runs as the paper's single-threaded
+    /// player (§3.4): receive, decode, then a *blocking* write to the
+    /// device, one packet at a time, with at most this many packets
+    /// queued behind the busy thread (the socket receive buffer).
+    /// Packets arriving beyond that are lost — the "skipped audio" of
+    /// §3.4. `None` (default) is the fully pipelined mode.
+    pub serial_queue_depth: Option<usize>,
+    /// Play packets as soon as they are decoded, ignoring the §3.2
+    /// deadlines — the behaviour of the paper's *early* Ethernet
+    /// Speaker, whose only buffering was the audio device ring. Used by
+    /// the §3.4 buffer-size experiment: blocks larger than the ring
+    /// overflow and audibly skip.
+    pub asap_playback: bool,
+    /// Conceal lost packets by replaying the previous block with a
+    /// fade instead of letting the device insert silence — an extension
+    /// beyond the paper (its LAN never lost packets, §2.3); the E-LOSS
+    /// ablation measures what it buys.
+    pub conceal_loss: bool,
+}
+
+impl SpeakerConfig {
+    /// Defaults: 20 ms epsilon, stock ring geometry, no CPU model, no
+    /// auth, unit volume.
+    pub fn new(name: impl Into<String>, group: McastGroup) -> Self {
+        SpeakerConfig {
+            name: name.into(),
+            group,
+            epsilon: SimDuration::from_millis(20),
+            device_ring_capacity: es_vad::device::DEFAULT_RING_CAPACITY,
+            device_block_ms: es_vad::device::DEFAULT_BLOCK_MS,
+            cpu: None,
+            auth_anchor: None,
+            volume: 1.0,
+            auto_volume: None,
+            serial_queue_depth: None,
+            asap_playback: false,
+            conceal_loss: false,
+        }
+    }
+}
+
+/// Observable speaker counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeakerStats {
+    /// Datagrams received on the tuned group.
+    pub datagrams: u64,
+    /// Packets that failed CRC/parse.
+    pub bad_packets: u64,
+    /// Control packets absorbed.
+    pub control_packets: u64,
+    /// Data packets accepted for playback.
+    pub data_packets: u64,
+    /// Data packets that arrived before any control packet and were
+    /// dropped (the §2.3 gating rule).
+    pub dropped_waiting_control: u64,
+    /// Data packets discarded as too late (§3.2).
+    pub dropped_late: u64,
+    /// Bytes dropped because the device ring was full (§3.1 overflow).
+    pub dropped_overflow_bytes: u64,
+    /// Payloads that failed codec decode.
+    pub decode_errors: u64,
+    /// Decode work units billed.
+    pub decode_work_units: u64,
+    /// Samples written to the audio device.
+    pub samples_played: u64,
+    /// Packets lost because the single-threaded player was busy and its
+    /// receive queue was full (§3.4 serial mode only).
+    pub dropped_busy: u64,
+    /// Gap packets concealed by replaying faded audio (PLC extension).
+    pub concealed_packets: u64,
+    /// Packets reconstructed from XOR parity (FEC extension).
+    pub fec_recovered: u64,
+}
+
+enum Phase {
+    /// §2.3: no control packet yet; data cannot be interpreted.
+    WaitingForControl,
+    /// Stream description known; playing.
+    Playing,
+}
+
+struct Pending {
+    payload: bytes::Bytes,
+    codec_wire: u8,
+    deadline: es_sim::SimTime,
+}
+
+struct SpkState {
+    cfg: SpeakerConfig,
+    serial_busy: bool,
+    serial_queue: std::collections::VecDeque<Pending>,
+    /// Highest data sequence number seen (gap detection for PLC).
+    last_seq: Option<u32>,
+    /// FEC recovery state, created lazily on the first parity packet.
+    fec: Option<es_proto::FecRecoverer>,
+    /// Reception-quality monitor (the §5.3 management numbers).
+    monitor: es_proto::StreamMonitor,
+    /// The most recent decoded block, kept for concealment.
+    last_block: Vec<i16>,
+    phase: Phase,
+    stream_cfg: AudioConfig,
+    codec: CodecId,
+    clock: ClockSync,
+    stats: SpeakerStats,
+    verifier: Option<StreamVerifier>,
+    autovol: Option<AutoVolume>,
+    dev_configured: bool,
+    tuned: McastGroup,
+}
+
+/// A running Ethernet Speaker.
+#[derive(Clone)]
+pub struct EthernetSpeaker {
+    state: Shared<SpkState>,
+    codecs: Rc<Codecs>,
+    lan: Lan,
+    node: NodeId,
+    dev: Rc<AudioDevice>,
+    tap: Shared<OutputTap>,
+}
+
+impl EthernetSpeaker {
+    /// Attaches the speaker to the LAN, joins its channel and starts
+    /// listening.
+    pub fn start(sim: &mut Sim, lan: &Lan, cfg: SpeakerConfig) -> EthernetSpeaker {
+        let node = lan.attach(cfg.name.clone());
+        lan.join(node, cfg.group);
+        let (drv, tap) = HwDriver::new();
+        let dev = Rc::new(AudioDevice::with_geometry(
+            shared(drv),
+            cfg.device_ring_capacity,
+            cfg.device_block_ms,
+        ));
+        dev.open().expect("fresh device opens");
+        let verifier = cfg.auth_anchor.map(StreamVerifier::new);
+        let autovol = cfg
+            .auto_volume
+            .as_ref()
+            .map(|(avc, _)| AutoVolume::new(*avc));
+        let tuned = cfg.group;
+        let state = shared(SpkState {
+            serial_busy: false,
+            serial_queue: std::collections::VecDeque::new(),
+            last_seq: None,
+            fec: None,
+            monitor: es_proto::StreamMonitor::new(),
+            last_block: Vec::new(),
+            phase: Phase::WaitingForControl,
+            stream_cfg: AudioConfig::default(),
+            codec: CodecId::Pcm,
+            clock: ClockSync::new(),
+            stats: SpeakerStats::default(),
+            verifier,
+            autovol,
+            dev_configured: false,
+            tuned,
+            cfg,
+        });
+        let spk = EthernetSpeaker {
+            state,
+            codecs: Rc::new(Codecs::new()),
+            lan: lan.clone(),
+            node,
+            dev,
+            tap,
+        };
+        let s2 = spk.clone();
+        lan.set_handler(node, move |sim, dg| s2.on_datagram(sim, dg));
+        // Auto-volume control loop, 4 Hz.
+        if spk.state.borrow().autovol.is_some() {
+            let s3 = spk.clone();
+            let timer =
+                es_sim::RepeatingTimer::start(sim, SimDuration::from_millis(250), move |sim| {
+                    s3.autovol_tick(sim)
+                });
+            std::mem::forget(timer);
+        }
+        spk
+    }
+
+    /// Switches channels ("the ability to receive input from the user
+    /// (e.g., some remote control device)", §5.3): leaves the old
+    /// group, joins the new one, and waits for that stream's control
+    /// packet before playing again.
+    pub fn tune(&self, _sim: &mut Sim, group: McastGroup) {
+        let old = {
+            let mut st = self.state.borrow_mut();
+            let old = st.tuned;
+            st.tuned = group;
+            st.phase = Phase::WaitingForControl;
+            st.clock = ClockSync::new();
+            st.dev_configured = false;
+            old
+        };
+        self.lan.leave(self.node, old);
+        self.lan.join(self.node, group);
+    }
+
+    /// The group currently tuned.
+    pub fn tuned(&self) -> McastGroup {
+        self.state.borrow().tuned
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SpeakerStats {
+        self.state.borrow().stats
+    }
+
+    /// Authentication counters, when auth is enabled.
+    pub fn auth_stats(&self) -> Option<VerifierStats> {
+        self.state.borrow().verifier.as_ref().map(|v| v.stats())
+    }
+
+    /// Reception-quality snapshot (jitter/loss/reorder) — what a §5.3
+    /// management console would poll.
+    pub fn quality(&self) -> es_proto::QualityReport {
+        self.state.borrow().monitor.report()
+    }
+
+    /// The DAC output tap (what actually played, with timestamps).
+    pub fn tap(&self) -> Shared<OutputTap> {
+        self.tap.clone()
+    }
+
+    /// The speaker's audio device (ring stats, underruns).
+    pub fn device(&self) -> Rc<AudioDevice> {
+        self.dev.clone()
+    }
+
+    /// The LAN node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current clock offset estimate versus the producer.
+    pub fn clock_offset_us(&self) -> Option<i64> {
+        self.state.borrow().clock.offset_us()
+    }
+
+    /// Current auto-volume gain, if enabled.
+    pub fn auto_gain(&self) -> Option<f64> {
+        self.state.borrow().autovol.as_ref().map(|a| a.gain())
+    }
+
+    fn on_datagram(&self, sim: &mut Sim, dg: Datagram) {
+        self.state.borrow_mut().stats.datagrams += 1;
+        let raw = dg.payload.as_ref();
+        let has_verifier = self.state.borrow().verifier.is_some();
+        if has_verifier {
+            // Authenticated channel: every packet carries a trailer;
+            // nothing plays until its key interval is disclosed.
+            if raw.len() <= TRAILER_LEN {
+                self.state.borrow_mut().stats.bad_packets += 1;
+                return;
+            }
+            let (body, tbytes) = raw.split_at(raw.len() - TRAILER_LEN);
+            let Some(trailer) = es_proto::AuthTrailer::decode(tbytes) else {
+                self.state.borrow_mut().stats.bad_packets += 1;
+                return;
+            };
+            let released = {
+                let mut st = self.state.borrow_mut();
+                let verifier = st.verifier.as_mut().expect("checked above");
+                let (released, _reject) = verifier.offer(body, &trailer);
+                released
+            };
+            for msg in released {
+                self.handle_packet(sim, &msg);
+            }
+        } else {
+            let raw = raw.to_vec();
+            self.handle_packet(sim, &raw);
+        }
+    }
+
+    fn handle_packet(&self, sim: &mut Sim, bytes: &[u8]) {
+        let pkt = match es_proto::decode(bytes) {
+            Ok(p) => p,
+            Err(_) => {
+                self.state.borrow_mut().stats.bad_packets += 1;
+                return;
+            }
+        };
+        match pkt {
+            Packet::Control(c) => self.on_control(sim, c),
+            Packet::Data(d) => {
+                self.state
+                    .borrow_mut()
+                    .monitor
+                    .on_packet(d.seq, d.play_at_us, sim.now().as_micros());
+                // Feed the FEC tracker first: a recovered packet from an
+                // earlier group plays like any other.
+                let recovered = self
+                    .state
+                    .borrow_mut()
+                    .fec
+                    .as_mut()
+                    .and_then(|f| f.on_data(&d));
+                self.on_data(sim, d);
+                if let Some(r) = recovered {
+                    self.state.borrow_mut().stats.fec_recovered += 1;
+                    self.on_data(sim, r);
+                }
+            }
+            Packet::Parity(p) => {
+                let recovered = {
+                    let mut st = self.state.borrow_mut();
+                    let fec = st
+                        .fec
+                        .get_or_insert_with(|| es_proto::FecRecoverer::new(p.count));
+                    fec.on_parity(&p)
+                };
+                if let Some(r) = recovered {
+                    self.state.borrow_mut().stats.fec_recovered += 1;
+                    self.on_data(sim, r);
+                }
+            }
+            Packet::Announce(_) => { /* catalog handled by es-core's browser */ }
+        }
+    }
+
+    fn on_control(&self, sim: &mut Sim, c: es_proto::ControlPacket) {
+        let reconfigure = {
+            let mut st = self.state.borrow_mut();
+            st.stats.control_packets += 1;
+            st.clock.on_control(sim.now(), c.producer_time_us);
+            let codec = CodecId::from_wire(c.codec).unwrap_or(CodecId::Pcm);
+            let changed = !st.dev_configured || st.stream_cfg != c.config;
+            st.stream_cfg = c.config;
+            st.codec = codec;
+            st.phase = Phase::Playing;
+            changed
+        };
+        if reconfigure {
+            // Program the local audio hardware with the stream format
+            // the control packet carries (§2.3: the configuration block
+            // needed to decode the stream).
+            if self.dev.ioctl(sim, Ioctl::SetInfo(c.config)).is_ok() {
+                self.state.borrow_mut().dev_configured = true;
+            }
+        }
+    }
+
+    fn on_data(&self, sim: &mut Sim, d: es_proto::DataPacket) {
+        // §2.3: no control packet yet means the stream cannot be
+        // decoded — wait, do not guess.
+        let deadline = {
+            let mut st = self.state.borrow_mut();
+            match st.phase {
+                Phase::WaitingForControl => {
+                    st.stats.dropped_waiting_control += 1;
+                    return;
+                }
+                Phase::Playing => {}
+            }
+            let Some(deadline) = st.clock.to_local(d.play_at_us) else {
+                st.stats.dropped_waiting_control += 1;
+                return;
+            };
+            deadline
+        };
+        // PLC: a jump in the sequence numbers means packets were lost
+        // on the wire. Conceal up to three of them by replaying the
+        // previous block, faded, at the deadlines the missing packets
+        // would have had.
+        let conceal = {
+            let mut st = self.state.borrow_mut();
+            let gap = match st.last_seq {
+                Some(last) if d.seq > last + 1 => (d.seq - last - 1).min(3),
+                _ => 0,
+            };
+            if d.seq >= st.last_seq.unwrap_or(0) {
+                st.last_seq = Some(d.seq);
+            }
+            if gap > 0 && st.cfg.conceal_loss && !st.last_block.is_empty() {
+                Some((gap, st.last_block.clone()))
+            } else {
+                None
+            }
+        };
+        if let Some((gap, block)) = conceal {
+            let dur_ns = {
+                let st = self.state.borrow();
+                st.stream_cfg.nanos_for_bytes(
+                    (block.len() * st.stream_cfg.encoding.bytes_per_sample() as usize) as u64,
+                )
+            };
+            for k in 1..=gap {
+                // The k-th missing packet before this one.
+                let back = (gap - k + 1) as u64 * dur_ns;
+                let gap_deadline =
+                    es_sim::SimTime::from_nanos(deadline.as_nanos().saturating_sub(back));
+                let mut faded = block.clone();
+                let fade = 0.6f64.powi(k as i32);
+                es_audio::mix::apply_gain(&mut faded, fade);
+                self.state.borrow_mut().stats.concealed_packets += 1;
+                self.schedule_play(sim, faded, gap_deadline);
+            }
+        }
+        let pending = Pending {
+            payload: d.payload,
+            codec_wire: d.codec,
+            deadline,
+        };
+        let serial_depth = self.state.borrow().cfg.serial_queue_depth;
+        match serial_depth {
+            None => self.process_pipelined(sim, pending),
+            Some(depth) => {
+                let start = {
+                    let mut st = self.state.borrow_mut();
+                    if st.serial_busy {
+                        if st.serial_queue.len() >= depth {
+                            // The player thread is wedged and the
+                            // receive buffer is full: §3.4's lost audio.
+                            st.stats.dropped_busy += 1;
+                            None
+                        } else {
+                            st.serial_queue.push_back(pending);
+                            None
+                        }
+                    } else {
+                        st.serial_busy = true;
+                        Some(pending)
+                    }
+                };
+                if let Some(p) = start {
+                    self.process_serial(sim, p);
+                }
+            }
+        }
+    }
+
+    /// Decodes a pending packet, billing the CPU model; returns the
+    /// samples and the (possibly future) completion time.
+    fn decode_pending(&self, sim: &mut Sim, p: &Pending) -> Option<(Vec<i16>, es_sim::SimTime)> {
+        let (codec, channels) = {
+            let st = self.state.borrow();
+            (st.codec, st.stream_cfg.channels)
+        };
+        let wire_codec = CodecId::from_wire(p.codec_wire).unwrap_or(codec);
+        let decoded = self.codecs.decode(wire_codec, &p.payload, channels);
+        let (samples, work) = match decoded {
+            Ok(x) => x,
+            Err(_) => {
+                self.state.borrow_mut().stats.decode_errors += 1;
+                return None;
+            }
+        };
+        let decoded_at = {
+            let mut st = self.state.borrow_mut();
+            st.stats.decode_work_units += work;
+            match &st.cfg.cpu {
+                Some(cpu) => cpu
+                    .borrow_mut()
+                    .submit(sim.now(), crate::decode_work_to_cycles(work)),
+                None => sim.now(),
+            }
+        };
+        Some((samples, decoded_at))
+    }
+
+    /// The default pipelined path: every packet decodes independently
+    /// and is scheduled at its deadline.
+    fn process_pipelined(&self, sim: &mut Sim, p: Pending) {
+        let Some((samples, decoded_at)) = self.decode_pending(sim, &p) else {
+            return;
+        };
+        {
+            let mut st = self.state.borrow_mut();
+            if st.cfg.conceal_loss {
+                st.last_block = samples.clone();
+            }
+        }
+        let deadline = p.deadline;
+        let spk = self.clone();
+        sim.schedule_at(decoded_at, move |sim| {
+            spk.schedule_play(sim, samples, deadline);
+        });
+    }
+
+    /// The §3.4 single-threaded path: decode, sleep to the deadline,
+    /// then a blocking write; only then is the next packet considered.
+    fn process_serial(&self, sim: &mut Sim, p: Pending) {
+        let Some((samples, decoded_at)) = self.decode_pending(sim, &p) else {
+            self.finish_serial(sim);
+            return;
+        };
+        let deadline = p.deadline;
+        let spk = self.clone();
+        sim.schedule_at(decoded_at, move |sim| {
+            let epsilon = spk.state.borrow().cfg.epsilon;
+            match decide(deadline, sim.now(), epsilon) {
+                PlayDecision::Sleep(d) => {
+                    let spk2 = spk.clone();
+                    sim.schedule_in(d, move |sim| spk2.serial_write(sim, samples));
+                }
+                PlayDecision::PlayNow => spk.serial_write(sim, samples),
+                PlayDecision::Discard { .. } => {
+                    spk.state.borrow_mut().stats.dropped_late += 1;
+                    spk.finish_serial(sim);
+                }
+            }
+        });
+    }
+
+    fn serial_write(&self, sim: &mut Sim, mut samples: Vec<i16>) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.stats.data_packets += 1;
+            let gain = st.cfg.volume * st.autovol.as_ref().map_or(1.0, |a| a.gain());
+            if (gain - 1.0).abs() > 1e-9 {
+                apply_gain(&mut samples, gain);
+            }
+        }
+        let cfg = self.state.borrow().stream_cfg;
+        let bytes = es_audio::convert::encode_samples(&samples, cfg.encoding);
+        self.serial_write_bytes(sim, bytes, 0, cfg);
+    }
+
+    /// A blocking `write(2)`: short writes park the player thread on
+    /// the device's writable wakeup.
+    fn serial_write_bytes(&self, sim: &mut Sim, bytes: Vec<u8>, offset: usize, cfg: AudioConfig) {
+        let n = self.dev.write(sim, &bytes[offset..]).unwrap_or(0);
+        {
+            let mut st = self.state.borrow_mut();
+            st.stats.samples_played += (n / cfg.encoding.bytes_per_sample() as usize) as u64;
+        }
+        let next = offset + n;
+        if next < bytes.len() {
+            let spk = self.clone();
+            self.dev.on_writable(move |sim| {
+                spk.serial_write_bytes(sim, bytes, next, cfg);
+            });
+        } else {
+            self.finish_serial(sim);
+        }
+    }
+
+    /// The player thread finished a packet: take the next one or go
+    /// idle.
+    fn finish_serial(&self, sim: &mut Sim) {
+        let next = {
+            let mut st = self.state.borrow_mut();
+            match st.serial_queue.pop_front() {
+                Some(p) => Some(p),
+                None => {
+                    st.serial_busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(p) = next {
+            self.process_serial(sim, p);
+        }
+    }
+
+    /// Applies §3.2's sleep/play/discard rule to a decoded block.
+    fn schedule_play(&self, sim: &mut Sim, samples: Vec<i16>, deadline: SimTime) {
+        if self.state.borrow().cfg.asap_playback {
+            // The early-ES pipeline: straight to the device.
+            self.write_out(sim, samples);
+            return;
+        }
+        let epsilon = self.state.borrow().cfg.epsilon;
+        match decide(deadline, sim.now(), epsilon) {
+            PlayDecision::Sleep(d) => {
+                let spk = self.clone();
+                sim.schedule_in(d, move |sim| spk.write_out(sim, samples));
+            }
+            PlayDecision::PlayNow => self.write_out(sim, samples),
+            PlayDecision::Discard { .. } => {
+                self.state.borrow_mut().stats.dropped_late += 1;
+            }
+        }
+    }
+
+    /// Writes a decoded block to the device, applying volume; a full
+    /// ring drops the excess (receiver-side overflow, §3.1).
+    fn write_out(&self, sim: &mut Sim, mut samples: Vec<i16>) {
+        {
+            let mut st = self.state.borrow_mut();
+            st.stats.data_packets += 1;
+            let gain = st.cfg.volume * st.autovol.as_ref().map_or(1.0, |a| a.gain());
+            if (gain - 1.0).abs() > 1e-9 {
+                apply_gain(&mut samples, gain);
+            }
+        }
+        let cfg = self.state.borrow().stream_cfg;
+        let bytes = es_audio::convert::encode_samples(&samples, cfg.encoding);
+        let written = self.dev.write(sim, &bytes).unwrap_or(0);
+        let mut st = self.state.borrow_mut();
+        st.stats.samples_played += (written / cfg.encoding.bytes_per_sample() as usize) as u64;
+        if written < bytes.len() {
+            st.stats.dropped_overflow_bytes += (bytes.len() - written) as u64;
+        }
+    }
+
+    /// One auto-volume control period: sample the simulated microphone
+    /// and update the gain.
+    fn autovol_tick(&self, sim: &mut Sim) {
+        let now_s = sim.now().as_secs_f64();
+        let (ambient, coupling) = {
+            let st = self.state.borrow();
+            let Some((avc, profile)) = st.cfg.auto_volume.as_ref() else {
+                return;
+            };
+            (profile.level_at(now_s), avc.self_coupling)
+        };
+        // What the speaker itself is putting out right now: the RMS of
+        // the most recent ~250 ms of tap output.
+        let out_rms = {
+            let tap = self.tap.borrow();
+            let recent = tap.samples_since(SimTime::from_nanos(
+                sim.now().as_nanos().saturating_sub(250_000_000),
+            ));
+            es_audio::analysis::rms(&recent)
+        };
+        let mic = crate::autovol::microphone_rms(ambient, out_rms, coupling);
+        if let Some(av) = self.state.borrow_mut().autovol.as_mut() {
+            av.update(mic, out_rms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use es_net::LanConfig;
+    use es_proto::{encode_control, encode_data, ControlPacket, DataPacket};
+
+    fn lan() -> (Sim, Lan, NodeId) {
+        let sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        (sim, lan, producer)
+    }
+
+    fn control_packet(seq: u32, t_us: u64) -> Bytes {
+        encode_control(&ControlPacket {
+            stream_id: 1,
+            seq,
+            producer_time_us: t_us,
+            config: AudioConfig::CD,
+            codec: CodecId::Pcm.to_wire(),
+            quality: 0,
+            control_interval_ms: 500,
+            flags: 0,
+        })
+    }
+
+    fn data_packet(seq: u32, play_at_us: u64, frames: usize) -> Bytes {
+        let samples = vec![1_000i16; frames * 2];
+        encode_data(&DataPacket {
+            stream_id: 1,
+            seq,
+            play_at_us,
+            codec: CodecId::Pcm.to_wire(),
+            payload: Bytes::from(es_audio::convert::encode_samples(
+                &samples,
+                es_audio::Encoding::Slinear16Le,
+            )),
+        })
+    }
+
+    #[test]
+    fn data_before_control_is_dropped() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, data_packet(0, 1_000, 2_205));
+        sim.run();
+        assert_eq!(spk.stats().dropped_waiting_control, 1);
+        assert_eq!(spk.stats().data_packets, 0);
+        // Control arrives; subsequent data plays.
+        let now_us = sim.now().as_micros();
+        lan.multicast(&mut sim, producer, g, control_packet(0, now_us));
+        sim.run();
+        let play_at = sim.now().as_micros() + 100_000;
+        lan.multicast(&mut sim, producer, g, data_packet(1, play_at, 2_205));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(spk.stats().data_packets, 1);
+        assert!(spk.stats().samples_played > 0);
+    }
+
+    #[test]
+    fn late_data_is_discarded_within_epsilon_rules() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let mut cfg = SpeakerConfig::new("es1", g);
+        cfg.epsilon = SimDuration::from_millis(20);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, cfg);
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        // Now is ~0.0002s; a deadline 100 ms in the past is too late…
+        lan.multicast(&mut sim, producer, g, data_packet(0, 0, 2_205));
+        sim.run_for(SimDuration::from_millis(200));
+        // …wait: deadline 0 arrives at ~200 us: within epsilon, plays.
+        assert_eq!(spk.stats().data_packets, 1);
+        // A deadline epsilon+ in the past discards.
+        let past = sim.now().as_micros().saturating_sub(50_000);
+        lan.multicast(&mut sim, producer, g, data_packet(1, past, 2_205));
+        sim.run_for(SimDuration::from_millis(100));
+        assert_eq!(spk.stats().dropped_late, 1);
+    }
+
+    #[test]
+    fn future_deadline_delays_playback() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        let deadline_us = 500_000u64;
+        lan.multicast(&mut sim, producer, g, data_packet(0, deadline_us, 2_205));
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(spk.stats().samples_played, 0, "must still be sleeping");
+        sim.run_until(SimTime::from_millis(700));
+        assert!(spk.stats().samples_played > 0);
+        let t0 = spk.tap().borrow().first_block_time().unwrap();
+        // Written at ~500 ms (clock offset ≈ transmission delay).
+        assert!(
+            (t0.as_millis() as i64 - 500).abs() <= 60,
+            "first audio at {t0}"
+        );
+    }
+
+    #[test]
+    fn ring_overflow_drops_bytes() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let mut cfg = SpeakerConfig::new("es1", g);
+        cfg.device_ring_capacity = 16_384;
+        let spk = EthernetSpeaker::start(&mut sim, &lan, cfg);
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        // Blast 10 packets of 50 ms each, all due "now" — the §3.1
+        // no-rate-limit pathology.
+        for seq in 0..10 {
+            lan.multicast(&mut sim, producer, g, data_packet(seq, 1_000, 2_205));
+        }
+        sim.run_for(SimDuration::from_millis(100));
+        let st = spk.stats();
+        assert!(st.dropped_overflow_bytes > 0, "{st:?}");
+    }
+
+    #[test]
+    fn tune_switches_groups_and_regates() {
+        let (mut sim, lan, producer) = lan();
+        let g1 = McastGroup(1);
+        let g2 = McastGroup(2);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g1));
+        lan.multicast(&mut sim, producer, g1, control_packet(0, 0));
+        sim.run();
+        assert_eq!(spk.stats().control_packets, 1);
+        spk.tune(&mut sim, g2);
+        assert_eq!(spk.tuned(), g2);
+        assert!(!lan.is_member(spk.node(), g1));
+        assert!(lan.is_member(spk.node(), g2));
+        // Old channel's packets no longer arrive; new channel gates on
+        // control again.
+        lan.multicast(&mut sim, producer, g1, data_packet(5, 1_000, 100));
+        lan.multicast(&mut sim, producer, g2, data_packet(0, 1_000, 100));
+        sim.run();
+        let st = spk.stats();
+        assert_eq!(st.dropped_waiting_control, 1, "g2 data gated");
+        assert_eq!(st.data_packets, 0);
+    }
+
+    #[test]
+    fn corrupt_packets_are_counted_not_played() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        let mut bytes = control_packet(0, 0).to_vec();
+        bytes[5] ^= 0xFF;
+        lan.multicast(&mut sim, producer, g, Bytes::from(bytes));
+        sim.run();
+        assert_eq!(spk.stats().bad_packets, 1);
+        assert_eq!(spk.stats().control_packets, 0);
+    }
+
+    #[test]
+    fn quality_monitor_reports_health() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        for seq in [0u32, 1, 2, 4, 5] {
+            lan.multicast(
+                &mut sim,
+                producer,
+                g,
+                data_packet(seq, 500_000 + seq as u64 * 50_000, 2_205),
+            );
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        let q = spk.quality();
+        assert_eq!(q.received, 5);
+        assert_eq!(q.lost, 1, "seq 3 missing");
+        assert!(q.loss_fraction > 0.1);
+        assert_ne!(q.grade(), "good");
+    }
+
+    #[test]
+    fn gap_is_concealed_when_enabled() {
+        let (mut sim, net, producer) = lan();
+        let g = McastGroup(1);
+        let mut cfg = SpeakerConfig::new("plc", g);
+        cfg.conceal_loss = true;
+        let spk = EthernetSpeaker::start(&mut sim, &net, cfg);
+        net.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        // Packets 0, 1, then 4 (2 and 3 lost on the wire).
+        for (seq, ms) in [(0u32, 300u64), (1, 350), (4, 500)] {
+            net.multicast(&mut sim, producer, g, data_packet(seq, ms * 1_000, 2_205));
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        let st = spk.stats();
+        assert_eq!(st.concealed_packets, 2, "{st:?}");
+        // Concealed audio is faded copies of packet 1's constant 1000s.
+        let played = spk.tap().borrow().samples();
+        let nonzero = played.iter().filter(|&&s| s != 0).count();
+        // 5 packets' worth of audio (3 real + 2 concealed), not 3.
+        assert!(
+            nonzero > 4 * 4_410 - 500,
+            "concealment should fill the gap: {nonzero} non-zero samples"
+        );
+        // And without PLC the same run leaves the gap silent.
+        let (mut sim2, lan2, producer2) = lan();
+        let spk2 = EthernetSpeaker::start(&mut sim2, &lan2, SpeakerConfig::new("raw", g));
+        lan2.multicast(&mut sim2, producer2, g, control_packet(0, 0));
+        sim2.run();
+        for (seq, ms) in [(0u32, 300u64), (1, 350), (4, 500)] {
+            lan2.multicast(&mut sim2, producer2, g, data_packet(seq, ms * 1_000, 2_205));
+        }
+        sim2.run_for(SimDuration::from_secs(1));
+        assert_eq!(spk2.stats().concealed_packets, 0);
+        let played2 = spk2.tap().borrow().samples();
+        let nonzero2 = played2.iter().filter(|&&s| s != 0).count();
+        assert!(nonzero2 < nonzero, "{nonzero2} vs {nonzero}");
+    }
+
+    #[test]
+    fn volume_scales_output() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let mut cfg = SpeakerConfig::new("quiet", g);
+        cfg.volume = 0.5;
+        let spk = EthernetSpeaker::start(&mut sim, &lan, cfg);
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        lan.multicast(&mut sim, producer, g, data_packet(0, 10_000, 2_205));
+        sim.run_for(SimDuration::from_millis(200));
+        let played = spk.tap().borrow().samples();
+        let peak = played.iter().map(|&s| s.abs()).max().unwrap_or(0);
+        assert_eq!(peak, 500, "1000 * 0.5");
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella re-export of the Ethernet Speaker reproduction workspace.
+//!
+//! See [`es_core`] for the high-level API; this crate exists so that the
+//! root-level examples and integration tests can depend on every member
+//! crate through a single package.
+
+pub use es_audio as audio;
+pub use es_boot as boot;
+pub use es_codec as codec;
+pub use es_core as core;
+pub use es_net as net;
+pub use es_proto as proto;
+pub use es_rebroadcast as rebroadcast;
+pub use es_sim as sim;
+pub use es_speaker as speaker;
+pub use es_vad as vad;

@@ -1,0 +1,192 @@
+//! Cross-crate property tests: invariants that must hold for any
+//! input, not just the scripted scenarios.
+
+use proptest::prelude::*;
+
+use es_audio::AudioConfig;
+use es_rebroadcast::RateLimiter;
+use es_sim::{SimDuration, SimTime};
+use es_speaker::{decide, ClockSync, PlayDecision};
+
+proptest! {
+    /// The rate limiter never schedules sends out of order and never
+    /// lets the stream run faster than real time beyond its lead.
+    #[test]
+    fn rate_limiter_is_monotone_and_bounded(
+        chunks in proptest::collection::vec(1_000usize..20_000, 1..100),
+        lead_ms in 0u64..500,
+    ) {
+        let cfg = AudioConfig::CD;
+        let mut rl = RateLimiter::with_lead(SimDuration::from_millis(lead_ms));
+        let mut last_send = SimTime::ZERO;
+        let mut sent_bytes = 0u64;
+        let now = SimTime::ZERO; // An infinitely fast producer.
+        for &c in &chunks {
+            let at = rl.pace(now, &cfg, c);
+            // Monotone.
+            prop_assert!(at >= last_send, "send times went backwards");
+            last_send = at;
+            sent_bytes += c as u64;
+            // Bounded ahead-of-real-time: by `at`, at most
+            // (elapsed + lead) of audio may have left.
+            let max_bytes = cfg.bytes_for_nanos(
+                at.as_nanos() + SimDuration::from_millis(lead_ms).as_nanos(),
+            ) + cfg.bytes_per_frame() as u64 * 2;
+            prop_assert!(
+                sent_bytes <= max_bytes + c as u64,
+                "{} bytes released by {}, budget {}",
+                sent_bytes,
+                at,
+                max_bytes
+            );
+        }
+    }
+
+    /// A paced stream of total duration D finishes within
+    /// [D - lead, D]: the 5-minute-song property, generalized.
+    #[test]
+    fn rate_limiter_total_duration(
+        n_chunks in 1usize..200,
+        chunk_ms in 10u64..100,
+    ) {
+        let cfg = AudioConfig::CD;
+        let lead = SimDuration::from_millis(100);
+        let mut rl = RateLimiter::with_lead(lead);
+        let chunk_bytes = cfg.bytes_for_nanos(chunk_ms * 1_000_000) as usize;
+        let mut last = SimTime::ZERO;
+        for _ in 0..n_chunks {
+            last = rl.pace(SimTime::ZERO, &cfg, chunk_bytes);
+        }
+        let total = cfg.nanos_for_bytes((chunk_bytes * n_chunks) as u64);
+        let expect_last = total.saturating_sub(chunk_ms * 1_000_000 + lead.as_nanos());
+        prop_assert!(
+            last.as_nanos() >= expect_last,
+            "last send {} too early for a {}ns stream",
+            last,
+            total
+        );
+        prop_assert!(last.as_nanos() <= total, "last send after the stream's own end");
+    }
+
+    /// Clock sync: after any history of control packets with bounded
+    /// observation error, the offset estimate stays within the error
+    /// bound of the true offset.
+    #[test]
+    fn clock_sync_estimate_stays_bounded(
+        true_offset_ms in -10_000i64..10_000,
+        errors_us in proptest::collection::vec(0i64..5_000, 1..50),
+    ) {
+        let mut cs = ClockSync::new();
+        for (i, &e) in errors_us.iter().enumerate() {
+            // Producer timestamps 1 s apart, based late enough that the
+            // local clock never goes negative even at offset -10 s.
+            let producer_us = 20_000_000 + (i as u64 + 1) * 1_000_000;
+            let local_us = (producer_us as i64 + true_offset_ms * 1_000 + e) as u64;
+            cs.on_control(SimTime::from_micros(local_us), producer_us);
+        }
+        let est = cs.offset_us().expect("synced after ≥1 packet");
+        let err = (est - true_offset_ms * 1_000).abs();
+        prop_assert!(
+            err <= 5_000,
+            "estimate off by {err} us with max observation error 5000 us"
+        );
+    }
+
+    /// The play decision partitions time: exactly one of
+    /// sleep/play/discard for every (deadline, now, epsilon), and the
+    /// decision respects the boundaries.
+    #[test]
+    fn play_decision_partition(
+        deadline_us in 0u64..10_000_000,
+        now_us in 0u64..10_000_000,
+        eps_us in 0u64..100_000,
+    ) {
+        let deadline = SimTime::from_micros(deadline_us);
+        let now = SimTime::from_micros(now_us);
+        let eps = SimDuration::from_micros(eps_us);
+        match decide(deadline, now, eps) {
+            PlayDecision::Sleep(d) => {
+                prop_assert!(deadline > now);
+                prop_assert_eq!(d, deadline - now);
+            }
+            PlayDecision::PlayNow => {
+                prop_assert!(deadline <= now);
+                prop_assert!(now - deadline <= eps);
+            }
+            PlayDecision::Discard { late_by } => {
+                prop_assert!(deadline <= now);
+                prop_assert!(late_by > eps);
+                prop_assert_eq!(late_by, now - deadline);
+            }
+        }
+    }
+
+    /// OVL roundtrip safety: any (short) sample buffer encodes and
+    /// decodes without panicking, to the same length, at any quality.
+    #[test]
+    fn ovl_roundtrip_any_input(
+        samples in proptest::collection::vec(i16::MIN..=i16::MAX, 0..2_000),
+        quality in 0u8..=10,
+    ) {
+        let samples = if samples.len() % 2 == 1 {
+            samples[..samples.len() - 1].to_vec()
+        } else {
+            samples
+        };
+        let codec = es_codec::OvlCodec::new();
+        let enc = codec.encode(&samples, 2, quality);
+        let dec = codec.decode(&enc.bytes).expect("own output decodes");
+        prop_assert_eq!(dec.samples.len(), samples.len());
+    }
+
+    /// Packet framing: concatenating any two encoded packets never
+    /// parses as a single valid packet (no framing confusion).
+    #[test]
+    fn packet_concatenation_rejected(
+        a_payload in proptest::collection::vec(proptest::num::u8::ANY, 0..200),
+        b_payload in proptest::collection::vec(proptest::num::u8::ANY, 0..200),
+    ) {
+        use bytes::Bytes;
+        let mk = |seq: u32, payload: Vec<u8>| {
+            es_proto::encode_data(&es_proto::DataPacket {
+                stream_id: 1,
+                seq,
+                play_at_us: 0,
+                codec: 0,
+                payload: Bytes::from(payload),
+            })
+        };
+        let a = mk(1, a_payload);
+        let b = mk(2, b_payload);
+        let mut cat = a.to_vec();
+        cat.extend_from_slice(&b);
+        prop_assert!(es_proto::decode(&cat).is_err());
+    }
+
+    /// The ramdisk overlay is idempotent and last-writer-wins.
+    #[test]
+    fn overlay_idempotent(
+        files in proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(proptest::num::u8::ANY, 0..32)), 0..20),
+    ) {
+        let mut base = es_boot::RamdiskFs::new();
+        base.insert("/etc/common", b"base".to_vec());
+        let mut bundle = es_boot::RamdiskFs::new();
+        for (name, contents) in &files {
+            bundle.insert(format!("/etc/{name}"), contents.clone());
+        }
+        let mut once = base.clone();
+        once.overlay(&bundle);
+        let mut twice = once.clone();
+        twice.overlay(&bundle);
+        prop_assert_eq!(&once, &twice, "overlay must be idempotent");
+        // Last writer wins per path (duplicates allowed in the input).
+        let mut expect = std::collections::BTreeMap::new();
+        for (name, contents) in &files {
+            expect.insert(name.clone(), contents.clone());
+        }
+        for (name, contents) in &expect {
+            prop_assert_eq!(once.read(&format!("/etc/{name}")), Some(contents.as_slice()));
+        }
+        prop_assert!(once.contains("/etc/common"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so the
+//! subset of `proptest` 1.x the workspace's property tests use is
+//! implemented here: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, integer range strategies, tuple and `Vec`
+//! strategies, `num::u8::ANY`, `bool::ANY`, and the single character
+//! class regex form (`"[a-z]{1,8}"`) the tests rely on.
+//!
+//! No shrinking: a failing case panics with the generated inputs in the
+//! assertion message. Case count defaults to 64 per property and is
+//! overridable with `PROPTEST_CASES`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// The deterministic generator driving strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u128) -> u128 {
+        assert!(span > 0, "empty strategy range");
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % span
+    }
+}
+
+/// Runs one property: owns the RNG, seeded from the test's name so
+/// every property gets a distinct but reproducible stream.
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: TestRng::new(h),
+        }
+    }
+
+    /// The runner's RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                (*self.start() as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Character-class regex strategy: supports exactly the
+/// `[ranges]{min,max}` shape (e.g. `"[a-z]{1,8}"`, `"[0-9a-f]{4}"`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_char_class(self);
+        let len = min + rng.below((max - min + 1) as u128) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u128) as usize])
+            .collect()
+    }
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!("unsupported regex strategy {pattern:?}: expected \"[class]{{m,n}}\"")
+}
+
+fn parse_char_class(pattern: &str) -> (Vec<char>, usize, usize) {
+    let rest = pattern
+        .strip_prefix('[')
+        .unwrap_or_else(|| unsupported(pattern));
+    let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+    let mut chars = Vec::new();
+    let mut it = class.chars().peekable();
+    while let Some(c) = it.next() {
+        if it.peek() == Some(&'-') {
+            it.next();
+            let hi = it.next().unwrap_or_else(|| unsupported(pattern));
+            for x in c..=hi {
+                chars.push(x);
+            }
+        } else {
+            chars.push(c);
+        }
+    }
+    if chars.is_empty() {
+        unsupported(pattern);
+    }
+    let (min, max): (usize, usize) = if rest.is_empty() {
+        (1, 1)
+    } else {
+        let body = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pattern));
+        match body.split_once(',') {
+            Some((a, b)) => (
+                a.parse::<usize>().unwrap_or_else(|_| unsupported(pattern)),
+                b.parse::<usize>().unwrap_or_else(|_| unsupported(pattern)),
+            ),
+            None => {
+                let n = body
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| unsupported(pattern));
+                (n, n)
+            }
+        }
+    };
+    (chars, min, max)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` strategy: element strategy plus a length range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length falls in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategy, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The type of [`ANY`].
+    pub struct Any;
+
+    /// Uniform true/false.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Numeric `ANY` strategies, mirroring `proptest::num`.
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            pub mod $m {
+                use crate::{Strategy, TestRng};
+
+                /// The type of [`ANY`].
+                pub struct Any;
+
+                /// The full domain of the type, uniformly.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8: core::primitive::u8, u16: core::primitive::u16, u32: core::primitive::u32, u64: core::primitive::u64, i8: core::primitive::i8, i16: core::primitive::i16, i32: core::primitive::i32, i64: core::primitive::i64);
+}
+
+/// Defines property tests. Each function body runs [`cases()`] times
+/// with fresh values drawn from the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner =
+                    $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..$crate::cases() {
+                    $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: panics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = super::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i32..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (i32::MIN..=i32::MAX).generate(&mut rng);
+            let _ = f; // Full domain: just must not panic.
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let mut rng = super::TestRng::new(2);
+        for _ in 0..200 {
+            let v = super::collection::vec(0u8..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_class_generates_matching_strings() {
+        let mut rng = super::TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    crate::proptest! {
+        #[test]
+        fn macro_draws_all_args(a in 0u8..10, pair in (0usize..4, crate::bool::ANY)) {
+            crate::prop_assert!(a < 10);
+            crate::prop_assert!(pair.0 < 4);
+        }
+    }
+}

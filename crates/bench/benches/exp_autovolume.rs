@@ -21,7 +21,7 @@ fn main() {
     ];
     println!("{}", report::table(&["scenario", "gain dB"], &rows));
     println!();
-    report::print_series(&r.gain_db_series);
+    print!("{}", report::series_rows(&r.gain_db_series));
     println!("paper: \"for background music the ES would lower the volume if");
     println!("the area is quiet ... if an announcement is being made, then");
     println!("the volume should be increased if there is a lot of background");

@@ -11,8 +11,12 @@ fn main() {
     let clip = report::run_seconds(60);
     println!("== E-RATE: the rate limiter ({clip}s clip, wire-speed player) ==\n");
     let mut rows = Vec::new();
+    let mut dumps = Vec::new();
     for limited in [true, false] {
         let r = rate_exp::run(limited, clip, 5);
+        if let Some(d) = report::metrics_dump(&r.metrics) {
+            dumps.push(d);
+        }
         rows.push(vec![
             if limited { "limiter ON" } else { "limiter OFF" }.to_string(),
             report::f1(r.send_span_secs),
@@ -36,4 +40,7 @@ fn main() {
     );
     println!("paper: without rate limiting \"you will only hear the first");
     println!("few seconds of the song\" (§3.1).");
+    for d in dumps {
+        println!("{d}");
+    }
 }

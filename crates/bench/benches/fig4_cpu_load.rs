@@ -35,6 +35,6 @@ fn main() {
     println!("paper: 8-stream line roughly doubles the 4-stream line and");
     println!("pushes toward 100% on the 233 MHz Geode (Figure 4).\n");
     for s in &all_series {
-        report::print_series(s);
+        print!("{}", report::series_rows(s));
     }
 }

@@ -38,6 +38,6 @@ fn main() {
     println!("\"relocating the streaming component in user space does not");
     println!("introduce significant overheads\" (§3.3).\n");
     for s in &all {
-        report::print_series(s);
+        print!("{}", report::series_rows(s));
     }
 }

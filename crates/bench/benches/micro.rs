@@ -1,10 +1,16 @@
-//! Criterion micro-benchmarks for the hot paths: codecs, packet
-//! serialization, companding, the ring buffer, mixing and
-//! cross-correlation.
+//! Micro-benchmarks for the hot paths: codecs, packet serialization,
+//! companding, the ring buffer, mixing and cross-correlation.
+//!
+//! Self-contained timing harness (the build environment has no
+//! registry access, so no criterion): each case is warmed up, then run
+//! for a fixed iteration budget and reported as ns/iter alongside
+//! throughput where a byte/element count is known.
 //!
 //! Run: `cargo bench -p es-bench --bench micro`
+//! (`ES_BENCH_QUICK=1` shrinks the iteration budget for CI.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use es_audio::convert::{decode_samples, encode_samples};
 use es_audio::gen::{render_stereo, MultiTone, Sine};
@@ -13,47 +19,65 @@ use es_codec::{CodecId, Codecs};
 use es_proto::{encode_data, DataPacket};
 use es_vad::AudioRing;
 
+fn iters() -> u32 {
+    match std::env::var("ES_BENCH_QUICK") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => 20,
+        _ => 200,
+    }
+}
+
+/// Times `f` and prints one report line. `bytes` adds MB/s throughput.
+fn bench<T>(name: &str, bytes: Option<u64>, mut f: impl FnMut() -> T) {
+    let n = iters();
+    for _ in 0..n / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / n as f64;
+    match bytes {
+        Some(b) => {
+            let mbps = b as f64 / per_iter * 1_000.0 / 1_048_576.0;
+            println!("{name:<44} {per_iter:>12.0} ns/iter {mbps:>10.1} MiB/s");
+        }
+        None => println!("{name:<44} {per_iter:>12.0} ns/iter"),
+    }
+}
+
 fn stereo_music(frames: usize) -> Vec<i16> {
     let mut l = MultiTone::music(44_100);
     let mut r = Sine::new(523.25, 44_100, 0.4);
     render_stereo(&mut l, &mut r, frames)
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn bench_codecs() {
     let codecs = Codecs::new();
     let samples = stereo_music(4_410); // 100 ms of CD stereo.
-    let mut group = c.benchmark_group("codec_encode_100ms_cd");
-    group.throughput(Throughput::Bytes((samples.len() * 2) as u64));
+    let raw = (samples.len() * 2) as u64;
     for codec in CodecId::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(codec), &codec, |b, &codec| {
-            b.iter(|| codecs.encode(codec, &samples, 2, 10));
+        bench(&format!("codec_encode_100ms_cd/{codec}"), Some(raw), || {
+            codecs.encode(codec, &samples, 2, 10)
         });
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("codec_decode_100ms_cd");
     for codec in CodecId::ALL {
         let enc = codecs.encode(codec, &samples, 2, 10);
-        group.throughput(Throughput::Bytes(enc.bytes.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(codec), &codec, |b, _| {
-            b.iter(|| codecs.decode(codec, &enc.bytes, 2).expect("valid payload"));
-        });
+        bench(
+            &format!("codec_decode_100ms_cd/{codec}"),
+            Some(enc.bytes.len() as u64),
+            || codecs.decode(codec, &enc.bytes, 2).expect("valid payload"),
+        );
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("ovl_quality_sweep_encode");
     for q in [0u8, 5, 10] {
-        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
-            b.iter(|| codecs.encode(CodecId::Ovl, &samples, 2, q));
+        bench(&format!("ovl_quality_sweep_encode/q{q}"), Some(raw), || {
+            codecs.encode(CodecId::Ovl, &samples, 2, q)
         });
     }
-    group.finish();
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let payloads = [64usize, 1_024, 8_192];
-    let mut group = c.benchmark_group("packet_roundtrip");
-    for size in payloads {
+fn bench_protocol() {
+    for size in [64usize, 1_024, 8_192] {
         let pkt = DataPacket {
             stream_id: 1,
             seq: 42,
@@ -61,88 +85,82 @@ fn bench_protocol(c: &mut Criterion) {
             codec: 3,
             payload: bytes::Bytes::from(vec![0xA5u8; size]),
         };
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("encode", size), &pkt, |b, pkt| {
-            b.iter(|| encode_data(pkt));
+        bench(&format!("packet_encode/{size}"), Some(size as u64), || {
+            encode_data(&pkt)
         });
         let bytes = encode_data(&pkt);
-        group.bench_with_input(BenchmarkId::new("decode", size), &bytes, |b, bytes| {
-            b.iter(|| es_proto::decode(bytes).expect("valid packet"));
+        bench(&format!("packet_decode/{size}"), Some(size as u64), || {
+            es_proto::decode(&bytes).expect("valid packet")
         });
     }
-    group.finish();
 }
 
-fn bench_companding(c: &mut Criterion) {
+fn bench_companding() {
     let samples = stereo_music(44_100);
-    let mut group = c.benchmark_group("sample_conversion_1s");
-    group.throughput(Throughput::Elements(samples.len() as u64));
     for enc in [Encoding::ULaw, Encoding::ALaw, Encoding::Slinear16Le] {
-        group.bench_with_input(BenchmarkId::new("encode", enc), &enc, |b, &enc| {
-            b.iter(|| encode_samples(&samples, enc));
-        });
+        bench(
+            &format!("sample_encode_1s/{enc:?}"),
+            Some(samples.len() as u64),
+            || encode_samples(&samples, enc),
+        );
         let bytes = encode_samples(&samples, enc);
-        group.bench_with_input(BenchmarkId::new("decode", enc), &bytes, |b, bytes| {
-            b.iter(|| decode_samples(bytes, enc));
-        });
+        bench(
+            &format!("sample_decode_1s/{enc:?}"),
+            Some(bytes.len() as u64),
+            || decode_samples(&bytes, enc),
+        );
     }
-    group.finish();
 }
 
-fn bench_ring(c: &mut Criterion) {
-    c.bench_function("ring_write_take_64k", |b| {
-        let chunk = vec![1u8; 8_820];
-        b.iter(|| {
-            let mut ring = AudioRing::new(65_536, 8_820);
-            for _ in 0..7 {
-                ring.write(&chunk);
-            }
-            while ring.take_block(false).is_some() {}
-            ring.total_consumed()
-        });
+fn bench_ring() {
+    let chunk = vec![1u8; 8_820];
+    bench("ring_write_take_64k", None, || {
+        let mut ring = AudioRing::new(65_536, 8_820);
+        for _ in 0..7 {
+            ring.write(&chunk);
+        }
+        while ring.take_block(false).is_some() {}
+        ring.total_consumed()
     });
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let a = stereo_music(8_820);
     let mut shifted = vec![0i16; 200];
     shifted.extend_from_slice(&a[..a.len() - 200]);
-    c.bench_function("correlation_lag_200ms_window", |b| {
-        b.iter(|| es_audio::analysis::correlation_lag(&a, &shifted, 400));
+    bench("correlation_lag_200ms_window", None, || {
+        es_audio::analysis::correlation_lag(&a, &shifted, 400)
     });
-    c.bench_function("mix_and_gain_1s", |b| {
-        let src = stereo_music(44_100);
-        b.iter(|| {
-            let mut dst = src.clone();
-            es_audio::mix::apply_gain(&mut dst, 0.8);
-            es_audio::mix::mix_into(&mut dst, &src);
-            dst
-        });
+    let src = stereo_music(44_100);
+    bench("mix_and_gain_1s", None, || {
+        let mut dst = src.clone();
+        es_audio::mix::apply_gain(&mut dst, 0.8);
+        es_audio::mix::mix_into(&mut dst, &src);
+        dst
     });
 }
 
-fn bench_auth(c: &mut Criterion) {
+fn bench_auth() {
     let signer = es_proto::StreamSigner::new(b"bench", 1_000, 2);
     let msg = vec![0xCDu8; 1_400];
-    c.bench_function("auth_sign_packet", |b| {
-        b.iter(|| signer.sign(500, &msg));
-    });
-    c.bench_function("auth_verify_honest_stream_100", |b| {
-        b.iter(|| {
-            let mut v = es_proto::StreamVerifier::new(signer.anchor());
-            let mut out = 0usize;
-            for i in 1..=100u32 {
-                let t = signer.sign(i, &msg);
-                out += v.offer(&msg, &t).0.len();
-            }
-            out
-        });
+    bench("auth_sign_packet", None, || signer.sign(500, &msg));
+    bench("auth_verify_honest_stream_100", None, || {
+        let mut v = es_proto::StreamVerifier::new(signer.anchor());
+        let mut out = 0usize;
+        for i in 1..=100u32 {
+            let t = signer.sign(i, &msg);
+            out += v.offer(&msg, &t).0.len();
+        }
+        out
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_codecs, bench_protocol, bench_companding, bench_ring, bench_analysis, bench_auth
-);
-criterion_main!(micro);
+fn main() {
+    println!("{:<44} {:>20} {:>16}", "benchmark", "time", "throughput");
+    bench_codecs();
+    bench_protocol();
+    bench_companding();
+    bench_ring();
+    bench_analysis();
+    bench_auth();
+}

@@ -25,10 +25,10 @@ pub struct AvolRun {
 /// floor until `t2`, quiet again until `seconds`.
 pub fn run_announcement(seconds: u64, seed: u64) -> AvolRun {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "pa");
-    spec.source = Source::Tone(600.0);
-    spec.policy = CompressionPolicy::Never;
-    spec.duration = SimDuration::from_secs(seconds + 2);
+    let spec = ChannelSpec::new(1, group, "pa")
+        .source(Source::Tone(600.0))
+        .policy(CompressionPolicy::Never)
+        .duration(SimDuration::from_secs(seconds + 2));
     let t1 = seconds as f64 / 3.0;
     let t2 = 2.0 * seconds as f64 / 3.0;
     let profile = AmbientProfile::steps(vec![(0.0, 0.03), (t1, 0.5), (t2, 0.03)]);
@@ -69,10 +69,10 @@ pub fn run_announcement(seconds: u64, seed: u64) -> AvolRun {
 /// at the midpoint. Returns `(normal_gain_db, silent_gain_db)`.
 pub fn run_music(seconds: u64, seed: u64) -> (f64, f64) {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "music");
-    spec.source = Source::Music;
-    spec.policy = CompressionPolicy::Never;
-    spec.duration = SimDuration::from_secs(seconds + 2);
+    let spec = ChannelSpec::new(1, group, "music")
+        .source(Source::Music)
+        .policy(CompressionPolicy::Never)
+        .duration(SimDuration::from_secs(seconds + 2));
     let mid = seconds as f64 / 2.0;
     let profile = AmbientProfile::steps(vec![(0.0, 0.05), (mid, 0.003)]);
     let mut sys = SystemBuilder::new(seed)

@@ -43,11 +43,11 @@ pub const SPEAKER_RING: usize = 16_384;
 pub fn run(block_ms: u64, seconds: u64, seed: u64) -> BufRun {
     let group = McastGroup(1);
     let cpu = shared(SimCpu::new(calib::GEODE_HZ, SimDuration::from_secs(1)));
-    let mut spec = ChannelSpec::new(1, group, "stream");
-    spec.source = Source::Music;
-    spec.duration = SimDuration::from_secs(seconds + 2);
-    spec.policy = CompressionPolicy::paper_default();
-    spec.vad_block_ms = block_ms;
+    let spec = ChannelSpec::new(1, group, "stream")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(seconds + 2))
+        .policy(CompressionPolicy::paper_default())
+        .vad_block_ms(block_ms);
     let mut sys = SystemBuilder::new(seed)
         .channel(spec)
         .speaker(

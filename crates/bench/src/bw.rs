@@ -48,11 +48,11 @@ pub fn run_policy(
     seconds: u64,
     seed: u64,
 ) -> BwRow {
-    let mut spec = ChannelSpec::new(1, McastGroup(1), label);
-    spec.config = config;
-    spec.policy = policy;
-    spec.source = Source::Music;
-    spec.duration = SimDuration::from_secs(seconds + 2);
+    let spec = ChannelSpec::new(1, McastGroup(1), label)
+        .config(config)
+        .policy(policy)
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(seconds + 2));
     let mut sys = SystemBuilder::new(seed)
         .lan(LanConfig::default())
         .channel(spec)

@@ -34,20 +34,20 @@ pub fn run(streams: usize, seconds: u64, seed: u64) -> Fig4Run {
     let cpu = shared(SimCpu::new(calib::GEODE_HZ, SimDuration::from_secs(1)));
     let mut builder = SystemBuilder::new(seed);
     for i in 0..streams {
-        let mut spec = ChannelSpec::new(
+        let spec = ChannelSpec::new(
             (i + 1) as u16,
             McastGroup((i + 1) as u16),
             format!("cd-stream-{}", i + 1),
-        );
-        spec.policy = CompressionPolicy::Always {
+        )
+        .policy(CompressionPolicy::Always {
             codec: es_codec::CodecId::Ovl,
             quality: es_codec::MAX_QUALITY,
-        };
-        spec.duration = SimDuration::from_secs(seconds + 4);
-        spec.cpu = Some(cpu.clone());
+        })
+        .duration(SimDuration::from_secs(seconds + 4))
+        .cpu(cpu.clone())
         // Offset the streams slightly so their encode bursts interleave
         // the way independent players would.
-        spec.start_at = SimDuration::from_millis(37 * i as u64);
+        .start_at(SimDuration::from_millis(37 * i as u64));
         builder = builder.channel(spec);
     }
     let mut sys = builder.build();

@@ -56,17 +56,18 @@ pub fn run_configured(
     fec_group: Option<u8>,
 ) -> LossRun {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "stream");
-    // Full-scale noise: every genuine sample is almost surely non-zero,
-    // so zero samples measure inserted silence.
-    spec.source = Source::Noise(0xD1CE);
-    spec.policy = CompressionPolicy::Never;
-    spec.duration = SimDuration::from_secs(seconds + 2);
-    spec.fec_group = fec_group;
-    if fec_group.is_some() {
+    let mut spec = ChannelSpec::new(1, group, "stream")
+        // Full-scale noise: every genuine sample is almost surely
+        // non-zero, so zero samples measure inserted silence.
+        .source(Source::Noise(0xD1CE))
+        .policy(CompressionPolicy::Never)
+        .duration(SimDuration::from_secs(seconds + 2));
+    if let Some(n) = fec_group {
         // Recovery needs the whole group plus parity to arrive before
         // the deadline: budget one group span of extra playout.
-        spec.playout_delay = SimDuration::from_millis(450);
+        spec = spec
+            .fec_group(n)
+            .playout_delay(SimDuration::from_millis(450));
     }
     let spk_spec = if plc {
         SpeakerSpec::new("es", group).with_loss_concealment()

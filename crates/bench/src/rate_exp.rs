@@ -33,21 +33,24 @@ pub struct RateRun {
     pub dropped_packets: u64,
     /// Packets discarded as late.
     pub dropped_late: u64,
+    /// Full telemetry snapshot of the run (dump with
+    /// `report::metrics_dump`).
+    pub metrics: es_telemetry::MetricsSnapshot,
 }
 
 /// Runs the clip with or without the rate limiter.
 pub fn run(limited: bool, clip_seconds: u64, seed: u64) -> RateRun {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "mp3-player");
-    spec.pacing = AppPacing::WireSpeed;
-    spec.source = Source::Music;
-    spec.duration = SimDuration::from_secs(clip_seconds);
-    spec.policy = CompressionPolicy::Never; // Isolate the pacing variable.
-    spec.rate_limiter = if limited {
-        RateLimiter::new()
-    } else {
-        RateLimiter::disabled()
-    };
+    let spec = ChannelSpec::new(1, group, "mp3-player")
+        .pacing(AppPacing::WireSpeed)
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(clip_seconds))
+        .policy(CompressionPolicy::Never) // Isolate the pacing variable.
+        .rate_limiter(if limited {
+            RateLimiter::new()
+        } else {
+            RateLimiter::disabled()
+        });
     let mut sys = SystemBuilder::new(seed)
         .channel(spec)
         // The paper-era speaker: single player thread, ~2 s of receive
@@ -92,6 +95,7 @@ pub fn run(limited: bool, clip_seconds: u64, seed: u64) -> RateRun {
         played_seconds,
         dropped_packets: st.dropped_busy,
         dropped_late: st.dropped_late,
+        metrics: sys.metrics(),
     }
 }
 

@@ -5,6 +5,7 @@
 //! can consume — the same shape as the paper's gnuplot figures.
 
 use es_sim::TimeSeries;
+use es_telemetry::MetricsSnapshot;
 
 /// Renders a fixed-width table: header row + data rows.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -39,10 +40,10 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Prints a series as labelled gnuplot-style rows.
-pub fn print_series(series: &TimeSeries) {
-    println!("# series: {}", series.name());
-    print!("{}", series.to_rows());
+/// Renders a series as labelled gnuplot-style rows; the bench binaries
+/// print the result (library code itself never writes to stdout).
+pub fn series_rows(series: &TimeSeries) -> String {
+    format!("# series: {}\n{}", series.name(), series.to_rows())
 }
 
 /// Formats a float to 1 decimal.
@@ -63,6 +64,18 @@ pub fn f3(v: f64) -> String {
 /// Formats bits/s as Mbit/s.
 pub fn mbps(bps: f64) -> String {
     format!("{:.3}", bps / 1_000_000.0)
+}
+
+/// Renders a metrics snapshot as JSON lines when `ES_BENCH_METRICS=1`
+/// is set, `None` otherwise. Bench binaries print the result after
+/// their tables so a run doubles as a telemetry capture.
+pub fn metrics_dump(snapshot: &MetricsSnapshot) -> Option<String> {
+    match std::env::var("ES_BENCH_METRICS") {
+        Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => {
+            Some(format!("# metrics\n{}", snapshot.to_json_lines()))
+        }
+        _ => None,
+    }
 }
 
 /// Reads the quick-mode switch: `ES_BENCH_QUICK=1` shortens runs for
@@ -104,9 +117,11 @@ mod tests {
     }
 
     #[test]
-    fn series_rows_print() {
+    fn series_rows_render() {
         let mut s = TimeSeries::new("x");
         s.push(SimTime::from_secs(1), 2.0);
-        print_series(&s); // Must not panic.
+        let rows = series_rows(&s);
+        assert!(rows.starts_with("# series: x\n"));
+        assert!(rows.contains("2"));
     }
 }

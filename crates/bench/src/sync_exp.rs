@@ -28,10 +28,10 @@ pub struct SyncRun {
 /// Staggered-join playback offsets across `n` speakers.
 pub fn run_staggered(n: usize, seed: u64) -> SyncRun {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "clicks");
-    spec.source = Source::Impulses(11_025); // 4 clicks/s.
-    spec.policy = CompressionPolicy::Never;
-    spec.duration = SimDuration::from_secs(14);
+    let spec = ChannelSpec::new(1, group, "clicks")
+        .source(Source::Impulses(11_025)) // 4 clicks/s.
+        .policy(CompressionPolicy::Never)
+        .duration(SimDuration::from_secs(14));
     let mut builder = SystemBuilder::new(seed).channel(spec);
     let mut start_times = Vec::new();
     for i in 0..n {
@@ -72,12 +72,12 @@ pub struct EpsilonRun {
 /// Runs a jittery LAN against a given epsilon.
 pub fn run_epsilon(epsilon_ms: u64, seed: u64) -> EpsilonRun {
     let group = McastGroup(1);
-    let mut spec = ChannelSpec::new(1, group, "music");
-    spec.policy = CompressionPolicy::Never;
-    spec.duration = SimDuration::from_secs(12);
-    // A tight playout budget: jitter of the same order makes some
-    // packets genuinely late, which is when epsilon matters.
-    spec.playout_delay = SimDuration::from_millis(4);
+    let spec = ChannelSpec::new(1, group, "music")
+        .policy(CompressionPolicy::Never)
+        .duration(SimDuration::from_secs(12))
+        // A tight playout budget: jitter of the same order makes some
+        // packets genuinely late, which is when epsilon matters.
+        .playout_delay(SimDuration::from_millis(4));
     let mut sys = SystemBuilder::new(seed)
         .lan(LanConfig::lossy(0.0, SimDuration::from_millis(8)))
         .channel(spec)

@@ -149,7 +149,10 @@ impl Codecs {
     /// of the channel count (caller bugs, not data errors).
     pub fn encode(&self, codec: CodecId, samples: &[i16], channels: u8, quality: u8) -> Encoded {
         assert!(channels >= 1, "need at least one channel");
-        assert!(samples.len().is_multiple_of(channels as usize), "torn final frame");
+        assert!(
+            samples.len().is_multiple_of(channels as usize),
+            "torn final frame"
+        );
         match codec {
             CodecId::Pcm => Encoded {
                 codec,

@@ -115,7 +115,10 @@ impl Mdct {
 /// sample on decode.
 pub fn analyze(mdct: &Mdct, padded: &[f32]) -> Vec<Vec<f32>> {
     let n = mdct.half_len();
-    assert!(padded.len().is_multiple_of(n), "input must be a multiple of n");
+    assert!(
+        padded.len().is_multiple_of(n),
+        "input must be a multiple of n"
+    );
     let blocks = padded.len() / n;
     let mut windows = Vec::with_capacity(blocks + 1);
     let mut buf = vec![0.0f32; 2 * n];

@@ -17,6 +17,7 @@ use es_rebroadcast::{
 };
 use es_sim::{Shared, Sim, SimCpu, SimDuration, SimTime};
 use es_speaker::{AmbientProfile, AutoVolumeConfig, EthernetSpeaker, SpeakerConfig};
+use es_telemetry::{Journal, MetricsSnapshot, Registry, Telemetry};
 
 use crate::catalog::CatalogAnnouncer;
 
@@ -114,6 +115,84 @@ impl ChannelSpec {
             playout_delay: SimDuration::from_millis(200),
             fec_group: None,
         }
+    }
+
+    /// Sets the stream format the application configures.
+    pub fn config(mut self, config: AudioConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets what the application plays.
+    pub fn source(mut self, source: Source) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Sets the clip length.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the application pacing.
+    pub fn pacing(mut self, pacing: AppPacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Sets the rebroadcaster's rate limiter.
+    pub fn rate_limiter(mut self, rl: RateLimiter) -> Self {
+        self.rate_limiter = rl;
+        self
+    }
+
+    /// Sets the compression policy.
+    pub fn policy(mut self, policy: CompressionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the stream flags.
+    pub fn flags(mut self, flags: u16) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Bills encode work to a CPU model.
+    pub fn cpu(mut self, cpu: Shared<SimCpu>) -> Self {
+        self.cpu = Some(cpu);
+        self
+    }
+
+    /// Signs the stream (§5.1).
+    pub fn signer(mut self, signer: Rc<StreamSigner>) -> Self {
+        self.signer = Some(signer);
+        self
+    }
+
+    /// Delays the application start.
+    pub fn start_at(mut self, at: SimDuration) -> Self {
+        self.start_at = at;
+        self
+    }
+
+    /// Sets the VAD block length in milliseconds.
+    pub fn vad_block_ms(mut self, ms: u64) -> Self {
+        self.vad_block_ms = ms;
+        self
+    }
+
+    /// Sets the receiver playout delay.
+    pub fn playout_delay(mut self, d: SimDuration) -> Self {
+        self.playout_delay = d;
+        self
+    }
+
+    /// Emits one XOR-parity packet per `n` data packets.
+    pub fn fec_group(mut self, n: u8) -> Self {
+        self.fec_group = Some(n);
+        self
     }
 }
 
@@ -248,7 +327,9 @@ impl SystemBuilder {
     /// [`EsSystem::run_for`]/[`EsSystem::run_until`].
     pub fn build(self) -> EsSystem {
         let mut sim = Sim::new(self.seed);
+        let journal = Journal::new();
         let lan = Lan::new(self.lan);
+        lan.set_journal(journal.clone());
         let producer_node = lan.attach("producer-host");
 
         let mut rebroadcasters = Vec::new();
@@ -277,6 +358,7 @@ impl SystemBuilder {
             rcfg.playout_delay = ch.playout_delay;
             rcfg.fec_group = ch.fec_group;
             let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer_node, master, rcfg);
+            rb.set_journal(journal.clone());
             catalog_entries.push((ch.stream_id, ch.group, ch.name.clone(), ch.config, ch.flags));
 
             // The application starts at its delay.
@@ -320,18 +402,19 @@ impl SystemBuilder {
         let mut speakers = Vec::new();
         for spec in self.speakers {
             if spec.start_at.is_zero() {
-                speakers.push(SpeakerHandle::Ready(EthernetSpeaker::start(
-                    &mut sim,
-                    &lan,
-                    spec.config,
-                )));
+                let spk = EthernetSpeaker::start(&mut sim, &lan, spec.config);
+                spk.set_journal(journal.clone());
+                speakers.push(SpeakerHandle::Ready(spk));
             } else {
                 let slot: Shared<Option<EthernetSpeaker>> = es_sim::shared(None);
                 let slot2 = slot.clone();
                 let lan2 = lan.clone();
                 let cfg = spec.config;
+                let j2 = journal.clone();
                 sim.schedule_in(spec.start_at, move |sim| {
-                    *slot2.borrow_mut() = Some(EthernetSpeaker::start(sim, &lan2, cfg));
+                    let spk = EthernetSpeaker::start(sim, &lan2, cfg);
+                    spk.set_journal(j2.clone());
+                    *slot2.borrow_mut() = Some(spk);
                 });
                 speakers.push(SpeakerHandle::Deferred(slot));
             }
@@ -344,6 +427,7 @@ impl SystemBuilder {
             apps,
             speakers,
             announcer,
+            journal,
         }
     }
 }
@@ -362,6 +446,7 @@ pub struct EsSystem {
     apps: Vec<Shared<Option<AudioApp>>>,
     speakers: Vec<SpeakerHandle>,
     announcer: Option<CatalogAnnouncer>,
+    journal: Journal,
 }
 
 impl EsSystem {
@@ -407,6 +492,43 @@ impl EsSystem {
     /// The catalog announcer, if enabled.
     pub fn announcer(&self) -> Option<&CatalogAnnouncer> {
         self.announcer.as_ref()
+    }
+
+    /// The system-wide event journal (virtual-time stamps).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Takes a merged metrics snapshot of every component: the LAN
+    /// fabric (instance `lan0`), each channel's rebroadcaster, VAD and
+    /// application (instance `chN`), each powered-on speaker (instance
+    /// = its name) with its device ring, and the catalog announcer.
+    ///
+    /// The snapshot serializes to JSON lines via
+    /// [`MetricsSnapshot::to_json_lines`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut reg = Registry::new();
+        reg.set_instance("lan0");
+        self.lan.stats().record(&mut reg);
+        for (i, rb) in self.rebroadcasters.iter().enumerate() {
+            reg.set_instance(&format!("ch{i}"));
+            rb.record_telemetry(&mut reg);
+            rb.vad_stats().record(&mut reg);
+            if let Some(app) = self.apps[i].borrow().as_ref() {
+                app.stats().record(&mut reg);
+            }
+        }
+        for i in 0..self.speakers.len() {
+            let Some(spk) = self.speaker(i) else { continue };
+            reg.set_instance(&spk.name());
+            spk.record_telemetry(&mut reg);
+            spk.device().stats().record(&mut reg);
+        }
+        if let Some(a) = &self.announcer {
+            reg.set_instance("catalog");
+            reg.component("net").counter("announcements_sent", a.sent());
+        }
+        reg.snapshot()
     }
 
     /// Measures the playback offset between two speakers' outputs.

@@ -31,3 +31,26 @@ pub use live::{
     run_live_producer, run_live_speaker, LiveProducerConfig, LiveProducerReport, LiveSpeakerReport,
 };
 pub use override_ctl::{OverrideController, OverrideStats};
+
+/// The common imports: everything a typical scenario script touches.
+///
+/// ```
+/// use es_core::prelude::*;
+///
+/// let mut sys = SystemBuilder::new(7)
+///     .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+///     .speaker(SpeakerSpec::new("hall", McastGroup(1)))
+///     .build();
+/// sys.run_for(SimDuration::from_secs(1));
+/// ```
+pub mod prelude {
+    pub use crate::builder::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
+    pub use crate::catalog::{CatalogAnnouncer, ChannelBrowser};
+    pub use crate::override_ctl::{OverrideController, OverrideStats};
+    pub use es_audio::AudioConfig;
+    pub use es_net::{Lan, LanConfig, McastGroup};
+    pub use es_rebroadcast::{AppPacing, CompressionPolicy, RateLimiter};
+    pub use es_sim::{Sim, SimDuration, SimTime};
+    pub use es_speaker::{EthernetSpeaker, SpeakerConfig};
+    pub use es_telemetry::{Journal, MetricsSnapshot, Registry, Severity, Telemetry, TimeDomain};
+}

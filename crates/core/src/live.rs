@@ -18,6 +18,7 @@ use es_audio::AudioConfig;
 use es_codec::{CodecId, Codecs};
 use es_net::udp::{McastReceiver, McastSender};
 use es_proto::{encode_control, encode_data, ControlPacket, DataPacket, Packet};
+use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 
 /// Producer-side settings for a live run.
 pub struct LiveProducerConfig {
@@ -39,6 +40,8 @@ pub struct LiveProducerConfig {
     pub chunk: Duration,
     /// Playout delay granted to receivers.
     pub playout_delay: Duration,
+    /// Structured diagnostics sink (wall-clock stamps).
+    pub journal: Option<Journal>,
 }
 
 impl LiveProducerConfig {
@@ -55,7 +58,14 @@ impl LiveProducerConfig {
             control_interval: Duration::from_millis(500),
             chunk: Duration::from_millis(50),
             playout_delay: Duration::from_millis(200),
+            journal: None,
         }
+    }
+
+    /// Attaches a journal for structured diagnostics.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(journal);
+        self
     }
 }
 
@@ -73,6 +83,16 @@ pub struct LiveProducerReport {
     pub elapsed: Duration,
 }
 
+impl Telemetry for LiveProducerReport {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("rebroadcast");
+        s.counter("data_packets", self.data_packets)
+            .counter("control_packets", self.control_packets)
+            .counter("payload_bytes_out", self.payload_bytes)
+            .gauge("elapsed_ms", self.elapsed.as_millis() as f64);
+    }
+}
+
 /// Streams `signal` for `duration`, pacing against the wall clock.
 /// Blocking; spawn a thread for concurrent producer/speaker runs.
 pub fn run_live_producer(
@@ -83,6 +103,20 @@ pub fn run_live_producer(
     let tx = McastSender::new(cfg.channel, cfg.port)?;
     let codecs = Codecs::new();
     let start = Instant::now();
+    if let Some(j) = &cfg.journal {
+        j.emit(
+            Stamp::wall_now(),
+            Severity::Info,
+            "rebroadcast",
+            "live producer started",
+            &[
+                ("channel", cfg.channel.to_string()),
+                ("port", cfg.port.to_string()),
+                ("codec", format!("{:?}", cfg.codec)),
+                ("duration_ms", duration.as_millis().to_string()),
+            ],
+        );
+    }
     let mut report = LiveProducerReport::default();
     let frames_per_chunk =
         (cfg.config.sample_rate as u128 * cfg.chunk.as_nanos() / 1_000_000_000) as usize;
@@ -141,6 +175,18 @@ pub fn run_live_producer(
         }
     }
     report.elapsed = start.elapsed();
+    if let Some(j) = &cfg.journal {
+        j.emit(
+            Stamp::wall_now(),
+            Severity::Info,
+            "rebroadcast",
+            "live producer finished",
+            &[
+                ("data_packets", report.data_packets.to_string()),
+                ("elapsed_ms", report.elapsed.as_millis().to_string()),
+            ],
+        );
+    }
     Ok(report)
 }
 
@@ -161,16 +207,38 @@ pub struct LiveSpeakerReport {
     pub bad_packets: u64,
 }
 
+impl Telemetry for LiveSpeakerReport {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("speaker");
+        s.counter("control_packets", self.control_packets)
+            .counter("data_packets", self.data_packets)
+            .counter("dropped_waiting_control", self.dropped_waiting_control)
+            .counter("bad_packets", self.bad_packets)
+            .counter("samples_played", self.samples.len() as u64);
+    }
+}
+
 /// Listens on a channel for `run_for`, collecting decoded audio.
-/// Blocking.
+/// Blocking. Diagnostics go to `journal` (wall-clock stamps) when one
+/// is supplied.
 pub fn run_live_speaker(
     channel: u8,
     port: u16,
     run_for: Duration,
+    journal: Option<Journal>,
 ) -> io::Result<LiveSpeakerReport> {
     let rx = McastReceiver::join(channel, port, Duration::from_millis(100))?;
     let codecs = Codecs::new();
     let start = Instant::now();
+    if let Some(j) = &journal {
+        j.emit(
+            Stamp::wall_now(),
+            Severity::Info,
+            "speaker",
+            "live speaker joined group",
+            &[("channel", channel.to_string()), ("port", port.to_string())],
+        );
+    }
     let mut report = LiveSpeakerReport::default();
     let mut buf = vec![0u8; 65_536];
     while start.elapsed() < run_for {
@@ -203,6 +271,18 @@ pub fn run_live_speaker(
         }
     }
     rx.leave().ok();
+    if let Some(j) = &journal {
+        j.emit(
+            Stamp::wall_now(),
+            Severity::Info,
+            "speaker",
+            "live speaker run complete",
+            &[
+                ("data_packets", report.data_packets.to_string()),
+                ("bad_packets", report.bad_packets.to_string()),
+            ],
+        );
+    }
     Ok(report)
 }
 
@@ -213,36 +293,55 @@ mod tests {
 
     /// End-to-end over real loopback multicast. Skips (without
     /// failing) in sandboxes that forbid multicast.
+    /// Journals an environment-dependent skip instead of printing.
+    fn skip(journal: &Journal, reason: String) {
+        journal.emit(
+            Stamp::wall_now(),
+            Severity::Warn,
+            "core",
+            "live test skipped",
+            &[("reason", reason)],
+        );
+    }
+
     #[test]
     fn live_roundtrip_over_loopback() {
+        let journal = Journal::new();
         let channel = 17;
         let port = 49_500;
+        let j2 = journal.clone();
         let speaker = std::thread::spawn(move || {
-            run_live_speaker(channel, port, Duration::from_millis(1_500))
+            run_live_speaker(channel, port, Duration::from_millis(1_500), Some(j2))
         });
         std::thread::sleep(Duration::from_millis(150));
-        let mut cfg = LiveProducerConfig::new(channel, port);
+        let mut cfg = LiveProducerConfig::new(channel, port).with_journal(journal.clone());
         cfg.codec = CodecId::Adpcm;
         let mut sig = Sine::new(440.0, 44_100, 0.5);
         let produced = match run_live_producer(&cfg, &mut sig, Duration::from_millis(800)) {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("skipping live test (producer): {e}");
+                skip(&journal, format!("producer: {e}"));
                 return;
             }
         };
         let heard = match speaker.join().expect("speaker thread") {
             Ok(r) => r,
             Err(e) => {
-                eprintln!("skipping live test (speaker): {e}");
+                skip(&journal, format!("speaker: {e}"));
                 return;
             }
         };
+        // Both ends journaled their lifecycle under wall-clock stamps.
+        assert!(journal
+            .events()
+            .iter()
+            .all(|e| e.stamp.domain == es_telemetry::TimeDomain::Wall));
+        assert!(journal.len() >= 3, "start/joined/finished events");
         // Pacing: 800 ms of audio takes ~800 ms to send.
         assert!(produced.elapsed >= Duration::from_millis(750));
         assert!(produced.data_packets >= 15);
         if heard.data_packets == 0 {
-            eprintln!("skipping live assertions: no multicast loopback delivery");
+            skip(&journal, "no multicast loopback delivery".to_string());
             return;
         }
         assert_eq!(heard.config, Some(AudioConfig::CD));

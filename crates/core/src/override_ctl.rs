@@ -22,6 +22,14 @@ pub struct OverrideStats {
     pub restores: u64,
 }
 
+impl es_telemetry::Telemetry for OverrideStats {
+    fn record(&self, registry: &mut es_telemetry::Registry) {
+        let mut s = registry.component("override");
+        s.counter("overrides", self.overrides)
+            .counter("restores", self.restores);
+    }
+}
+
 struct CtlState {
     speakers: Vec<(EthernetSpeaker, Option<McastGroup>)>,
     priority_group: McastGroup,

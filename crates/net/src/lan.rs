@@ -19,6 +19,7 @@ use bytes::Bytes;
 
 use es_sim::random::{chance, normal};
 use es_sim::{shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
+use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 
 /// Identifies a host attached to the LAN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +127,8 @@ impl LanConfig {
 pub struct LanStats {
     /// Datagrams submitted by senders.
     pub datagrams_sent: u64,
+    /// Datagrams submitted to a multicast destination.
+    pub multicast_sent: u64,
     /// Datagram deliveries (one per receiver).
     pub datagrams_delivered: u64,
     /// Deliveries suppressed by the loss model.
@@ -143,6 +146,28 @@ impl LanStats {
             return 0.0;
         }
         self.wire_bytes_sent as f64 * 8.0 / elapsed.as_secs_f64()
+    }
+
+    /// Mean receivers reached per multicast datagram.
+    pub fn multicast_fanout(&self) -> f64 {
+        if self.multicast_sent == 0 {
+            0.0
+        } else {
+            (self.datagrams_delivered + self.datagrams_lost) as f64 / self.multicast_sent as f64
+        }
+    }
+}
+
+impl Telemetry for LanStats {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("net");
+        s.counter("frames_sent", self.datagrams_sent)
+            .counter("frames_delivered", self.datagrams_delivered)
+            .counter("frames_dropped", self.datagrams_lost)
+            .counter("multicast_frames", self.multicast_sent)
+            .counter("payload_bytes_sent", self.payload_bytes_sent)
+            .counter("wire_bytes_sent", self.wire_bytes_sent)
+            .gauge("multicast_fanout", self.multicast_fanout());
     }
 }
 
@@ -164,6 +189,8 @@ struct LanInner {
     medium_busy_until: SimTime,
     /// Payload bytes per multicast group (channel accounting).
     group_bytes: std::collections::BTreeMap<McastGroup, u64>,
+    /// Event journal for loss diagnostics, if attached.
+    journal: Option<Journal>,
 }
 
 /// The LAN fabric. Cheap to clone (shared handle).
@@ -183,8 +210,15 @@ impl Lan {
                 wire_usage: BucketAccumulator::new("wire-bytes", SimDuration::from_secs(1)),
                 medium_busy_until: SimTime::ZERO,
                 group_bytes: std::collections::BTreeMap::new(),
+                journal: None,
             }),
         }
+    }
+
+    /// Attaches an event journal; subsequent datagram drops are logged
+    /// as warnings with the sender's name and the loss count.
+    pub fn set_journal(&self, journal: Journal) {
+        self.inner.borrow_mut().journal = Some(journal);
     }
 
     /// Attaches a host and returns its id. Install a receive handler
@@ -281,6 +315,7 @@ impl Lan {
             inner.wire_usage.add(sim.now(), wire_bytes as f64);
 
             if let Dest::Multicast(g) = dst {
+                inner.stats.multicast_sent += 1;
                 *inner.group_bytes.entry(g).or_insert(0) += payload.len() as u64;
             }
 
@@ -337,7 +372,23 @@ impl Lan {
             inner.stats.datagrams_lost += lost;
             (done + config.propagation, kept, lost)
         };
-        let _ = lost_count;
+        if lost_count > 0 {
+            let journal = self.inner.borrow().journal.clone();
+            if let Some(j) = journal {
+                let name = self.node_name(from);
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Warn,
+                    "net",
+                    "datagram lost in transit",
+                    &[
+                        ("from", name),
+                        ("receivers_lost", lost_count.to_string()),
+                        ("bytes", payload.len().to_string()),
+                    ],
+                );
+            }
+        }
 
         for r in receivers {
             let jitter = {

@@ -108,6 +108,20 @@ fn bind_reusable(port: u16) -> io::Result<UdpSocket> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use es_telemetry::{Journal, Severity, Stamp};
+
+    /// Environment-dependent skips are journaled (wall-clock stamps)
+    /// rather than printed; the suite stays silent and the reason stays
+    /// inspectable.
+    fn skip(journal: &Journal, reason: String) {
+        journal.emit(
+            Stamp::wall_now(),
+            Severity::Warn,
+            "net",
+            "multicast test skipped",
+            &[("reason", reason)],
+        );
+    }
 
     #[test]
     fn channel_addresses_are_distinct_and_multicast() {
@@ -122,30 +136,31 @@ mod tests {
     fn loopback_multicast_roundtrip() {
         // Some CI sandboxes forbid multicast; skip quietly if join
         // fails rather than fail the suite on environment.
+        let journal = Journal::new();
         let port = 49_377;
         let rx = match McastReceiver::join(9, port, Duration::from_millis(500)) {
             Ok(rx) => rx,
             Err(e) => {
-                eprintln!("skipping multicast test: {e}");
+                skip(&journal, e.to_string());
                 return;
             }
         };
         let tx = match McastSender::new(9, port) {
             Ok(tx) => tx,
             Err(e) => {
-                eprintln!("skipping multicast test: {e}");
+                skip(&journal, e.to_string());
                 return;
             }
         };
         if tx.send(b"es-probe").is_err() {
-            eprintln!("skipping multicast test: send failed");
+            skip(&journal, "send failed".to_string());
             return;
         }
         let mut buf = [0u8; 64];
         match rx.recv(&mut buf) {
             Ok(Some(n)) => assert_eq!(&buf[..n], b"es-probe"),
-            Ok(None) => eprintln!("skipping multicast assertion: no loopback delivery"),
-            Err(e) => eprintln!("skipping multicast assertion: {e}"),
+            Ok(None) => skip(&journal, "no loopback delivery".to_string()),
+            Err(e) => skip(&journal, e.to_string()),
         }
         rx.leave().ok();
     }
@@ -156,7 +171,7 @@ mod tests {
         let rx = match McastReceiver::join(10, port, Duration::from_millis(50)) {
             Ok(rx) => rx,
             Err(e) => {
-                eprintln!("skipping multicast test: {e}");
+                skip(&Journal::new(), e.to_string());
                 return;
             }
         };

@@ -188,7 +188,13 @@ mod tests {
         let mut steady = StreamMonitor::new();
         feed_clean(&mut steady, 200, 50_000, |_| 0);
         let mut shaky = StreamMonitor::new();
-        feed_clean(&mut shaky, 200, 50_000, |i| if i % 2 == 0 { 8_000 } else { -8_000 });
+        feed_clean(&mut shaky, 200, 50_000, |i| {
+            if i % 2 == 0 {
+                8_000
+            } else {
+                -8_000
+            }
+        });
         let s = steady.report().jitter_us;
         let j = shaky.report().jitter_us;
         assert!(j > s + 5_000.0, "jitter {j} vs steady {s}");

@@ -21,6 +21,7 @@ use es_audio::convert::encode_samples;
 use es_audio::gen::Signal;
 use es_audio::AudioConfig;
 use es_sim::{shared, Shared, Sim, SimDuration, SimTime};
+use es_telemetry::{Registry, Telemetry};
 use es_vad::{AudioDevice, DevError, Ioctl};
 
 /// How the application produces data.
@@ -41,6 +42,18 @@ pub struct AppStats {
     pub finished_at: Option<SimTime>,
     /// Number of short writes encountered (back-pressure events).
     pub short_writes: u64,
+}
+
+impl Telemetry for AppStats {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("app");
+        s.counter("bytes_written", self.bytes_written)
+            .counter("short_writes", self.short_writes)
+            .gauge(
+                "finished",
+                if self.finished_at.is_some() { 1.0 } else { 0.0 },
+            );
+    }
 }
 
 struct AppState {

@@ -29,6 +29,7 @@ use es_net::{Lan, McastGroup, NodeId};
 use es_proto::auth::StreamSigner;
 use es_proto::{encode_control, encode_data, ControlPacket, DataPacket, FLAG_AUTHENTICATED};
 use es_sim::{shared, RepeatingTimer, Shared, Sim, SimCpu, SimDuration, SimTime};
+use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 use es_vad::{MasterItem, VadMaster};
 
 use crate::policy::CompressionPolicy;
@@ -101,6 +102,31 @@ pub struct ProducerStats {
     pub config_changes: u64,
 }
 
+impl ProducerStats {
+    /// Encoded-to-raw byte ratio (1.0 = no compression, lower is
+    /// smaller). Zero until audio has flowed.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.audio_bytes_in == 0 {
+            0.0
+        } else {
+            self.payload_bytes_out as f64 / self.audio_bytes_in as f64
+        }
+    }
+}
+
+impl Telemetry for ProducerStats {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("rebroadcast");
+        s.counter("data_packets", self.data_packets)
+            .counter("control_packets", self.control_packets)
+            .counter("audio_bytes_in", self.audio_bytes_in)
+            .counter("payload_bytes_out", self.payload_bytes_out)
+            .counter("encode_work_units", self.encode_work_units)
+            .counter("config_changes", self.config_changes)
+            .gauge("compression_ratio", self.compression_ratio());
+    }
+}
+
 struct ProducerState {
     cfg: RebroadcasterConfig,
     stream_cfg: AudioConfig,
@@ -117,6 +143,7 @@ struct ProducerState {
     control_seq: u32,
     stats: ProducerStats,
     parity_acc: Option<es_proto::ParityAccumulator>,
+    journal: Option<Journal>,
 }
 
 /// A running rebroadcaster for one stream.
@@ -152,6 +179,7 @@ impl Rebroadcaster {
             control_seq: 0,
             stats: ProducerStats::default(),
             parity_acc,
+            journal: None,
             cfg,
         });
         let rb = Rebroadcaster {
@@ -199,6 +227,21 @@ impl Rebroadcaster {
                     let (codec, quality) = st.cfg.policy.select(&c);
                     st.codec = codec;
                     st.quality = quality;
+                    if let Some(j) = st.journal.clone() {
+                        j.emit(
+                            Stamp::virtual_ns(sim.now().as_nanos()),
+                            Severity::Info,
+                            "rebroadcast",
+                            "stream configuration selected",
+                            &[
+                                ("stream_id", st.cfg.stream_id.to_string()),
+                                ("sample_rate", c.sample_rate.to_string()),
+                                ("channels", c.channels.to_string()),
+                                ("codec", format!("{codec:?}")),
+                                ("quality", quality.to_string()),
+                            ],
+                        );
+                    }
                     drop(st);
                     // Announce the change immediately as well as on the
                     // periodic timer.
@@ -340,6 +383,39 @@ impl Rebroadcaster {
     /// Counter snapshot.
     pub fn stats(&self) -> ProducerStats {
         self.state.borrow().stats
+    }
+
+    /// Rate-limiter sleep statistics for this stream.
+    pub fn rate_stats(&self) -> crate::rate::RateStats {
+        self.state.borrow().cfg.rate_limiter.stats().clone()
+    }
+
+    /// Forwarding statistics of the VAD feeding this stream.
+    pub fn vad_stats(&self) -> es_vad::VadStats {
+        self.master.stats()
+    }
+
+    /// The configured control packet period.
+    pub fn control_interval(&self) -> SimDuration {
+        self.state.borrow().cfg.control_interval
+    }
+
+    /// Attaches a journal for structured diagnostics (configuration
+    /// changes and the like).
+    pub fn set_journal(&self, journal: Journal) {
+        self.state.borrow_mut().journal = Some(journal);
+    }
+
+    /// Records producer counters, the compression ratio and rate-
+    /// limiter sleeps into `registry` under component `rebroadcast`.
+    pub fn record_telemetry(&self, registry: &mut Registry) {
+        let st = self.state.borrow();
+        st.stats.record(registry);
+        st.cfg.rate_limiter.stats().record(registry);
+        registry.component("rebroadcast").gauge(
+            "control_interval_ms",
+            st.cfg.control_interval.as_millis() as f64,
+        );
     }
 
     /// The stream's current audio configuration (meaningful once

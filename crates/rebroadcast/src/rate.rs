@@ -10,6 +10,27 @@
 
 use es_audio::AudioConfig;
 use es_sim::{SimDuration, SimTime};
+use es_telemetry::{Histogram, Registry, Telemetry};
+
+/// How often and for how long the limiter put the producer to sleep.
+#[derive(Debug, Clone, Default)]
+pub struct RateStats {
+    /// Chunks whose send time was pushed past `now`.
+    pub sleeps: u64,
+    /// Total virtual time spent sleeping.
+    pub total_sleep: SimDuration,
+    /// Distribution of individual sleep durations, in microseconds.
+    pub sleep_us: Histogram,
+}
+
+impl Telemetry for RateStats {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("rebroadcast");
+        s.counter("rate_sleeps", self.sleeps)
+            .counter("rate_sleep_total_us", self.total_sleep.as_micros())
+            .histogram("rate_sleep_us", &self.sleep_us);
+    }
+}
 
 /// Paces sends so bytes leave no faster than they play.
 #[derive(Debug, Clone)]
@@ -20,6 +41,7 @@ pub struct RateLimiter {
     /// Allowed head start: how far ahead of real time the sender may
     /// run (fills receiver buffers without overflowing them).
     lead: SimDuration,
+    stats: RateStats,
 }
 
 impl RateLimiter {
@@ -35,6 +57,7 @@ impl RateLimiter {
             enabled: true,
             next_due: None,
             lead,
+            stats: RateStats::default(),
         }
     }
 
@@ -45,12 +68,18 @@ impl RateLimiter {
             enabled: false,
             next_due: None,
             lead: SimDuration::ZERO,
+            stats: RateStats::default(),
         }
     }
 
     /// Whether pacing is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Sleep statistics accumulated by [`Self::pace`].
+    pub fn stats(&self) -> &RateStats {
+        &self.stats
     }
 
     /// Accounts for `bytes` of audio in `cfg` and returns the time at
@@ -75,7 +104,14 @@ impl RateLimiter {
         self.next_due = Some(due + playtime);
         // Send up to `lead` ahead of the deadline, never before now.
         let send_at = SimTime::from_nanos(due.as_nanos().saturating_sub(self.lead.as_nanos()));
-        send_at.max(now)
+        let send_at = send_at.max(now);
+        if send_at > now {
+            let sleep = send_at.saturating_since(now);
+            self.stats.sleeps += 1;
+            self.stats.total_sleep += sleep;
+            self.stats.sleep_us.observe(sleep.as_micros());
+        }
+        send_at
     }
 
     /// Resets the stream clock (e.g. on reconfiguration).

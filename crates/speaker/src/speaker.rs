@@ -23,6 +23,7 @@ use es_net::{Datagram, Lan, McastGroup, NodeId};
 use es_proto::auth::{StreamVerifier, VerifierStats};
 use es_proto::{Packet, TRAILER_LEN};
 use es_sim::{shared, Shared, Sim, SimCpu, SimDuration, SimTime};
+use es_telemetry::{Histogram, Journal, Registry, Severity, Stamp, Telemetry};
 use es_vad::{AudioDevice, HwDriver, Ioctl, OutputTap};
 
 use crate::autovol::{AmbientProfile, AutoVolume, AutoVolumeConfig};
@@ -125,6 +126,25 @@ pub struct SpeakerStats {
     pub fec_recovered: u64,
 }
 
+impl Telemetry for SpeakerStats {
+    fn record(&self, registry: &mut Registry) {
+        let mut s = registry.component("speaker");
+        s.counter("datagrams", self.datagrams)
+            .counter("bad_packets", self.bad_packets)
+            .counter("control_packets", self.control_packets)
+            .counter("data_packets", self.data_packets)
+            .counter("dropped_waiting_control", self.dropped_waiting_control)
+            .counter("deadline_misses", self.dropped_late)
+            .counter("dropped_overflow_bytes", self.dropped_overflow_bytes)
+            .counter("decode_errors", self.decode_errors)
+            .counter("decode_work_units", self.decode_work_units)
+            .counter("samples_played", self.samples_played)
+            .counter("dropped_busy", self.dropped_busy)
+            .counter("concealed_packets", self.concealed_packets)
+            .counter("fec_recovered", self.fec_recovered);
+    }
+}
+
 enum Phase {
     /// §2.3: no control packet yet; data cannot be interpreted.
     WaitingForControl,
@@ -155,6 +175,10 @@ struct SpkState {
     codec: CodecId,
     clock: ClockSync,
     stats: SpeakerStats,
+    /// How early decoded blocks reach the §3.2 play decision, in
+    /// microseconds (0 = at or past the deadline).
+    deadline_slack_us: Histogram,
+    journal: Option<Journal>,
     verifier: Option<StreamVerifier>,
     autovol: Option<AutoVolume>,
     dev_configured: bool,
@@ -203,6 +227,8 @@ impl EthernetSpeaker {
             codec: CodecId::Pcm,
             clock: ClockSync::new(),
             stats: SpeakerStats::default(),
+            deadline_slack_us: Histogram::default(),
+            journal: None,
             verifier,
             autovol,
             dev_configured: false,
@@ -235,7 +261,7 @@ impl EthernetSpeaker {
     /// (e.g., some remote control device)", §5.3): leaves the old
     /// group, joins the new one, and waits for that stream's control
     /// packet before playing again.
-    pub fn tune(&self, _sim: &mut Sim, group: McastGroup) {
+    pub fn tune(&self, sim: &mut Sim, group: McastGroup) {
         let old = {
             let mut st = self.state.borrow_mut();
             let old = st.tuned;
@@ -243,6 +269,19 @@ impl EthernetSpeaker {
             st.phase = Phase::WaitingForControl;
             st.clock = ClockSync::new();
             st.dev_configured = false;
+            if let Some(j) = st.journal.clone() {
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Info,
+                    "speaker",
+                    "tuned to new channel",
+                    &[
+                        ("speaker", st.cfg.name.clone()),
+                        ("from_group", old.0.to_string()),
+                        ("to_group", group.0.to_string()),
+                    ],
+                );
+            }
             old
         };
         self.lan.leave(self.node, old);
@@ -252,6 +291,11 @@ impl EthernetSpeaker {
     /// The group currently tuned.
     pub fn tuned(&self) -> McastGroup {
         self.state.borrow().tuned
+    }
+
+    /// The speaker's configured name.
+    pub fn name(&self) -> String {
+        self.state.borrow().cfg.name.clone()
     }
 
     /// Counter snapshot.
@@ -293,6 +337,43 @@ impl EthernetSpeaker {
     /// Current auto-volume gain, if enabled.
     pub fn auto_gain(&self) -> Option<f64> {
         self.state.borrow().autovol.as_ref().map(|a| a.gain())
+    }
+
+    /// Attaches a journal for structured diagnostics (tuning, late
+    /// packets and the like).
+    pub fn set_journal(&self, journal: Journal) {
+        self.state.borrow_mut().journal = Some(journal);
+    }
+
+    /// Distribution of deadline slack seen by the §3.2 play decision.
+    pub fn deadline_slack(&self) -> Histogram {
+        self.state.borrow().deadline_slack_us.clone()
+    }
+
+    /// Records speaker counters, the deadline-slack histogram, the
+    /// jitter-buffer depth, the producer-clock sync offset and the
+    /// [`es_proto::StreamMonitor`] quality numbers into `registry`
+    /// under component `speaker`.
+    pub fn record_telemetry(&self, registry: &mut Registry) {
+        let (stats, slack, offset, report) = {
+            let st = self.state.borrow();
+            (
+                st.stats,
+                st.deadline_slack_us.clone(),
+                st.clock.offset_us(),
+                st.monitor.report(),
+            )
+        };
+        stats.record(registry);
+        let depth = self.dev.stats().ring_occupancy;
+        let mut s = registry.component("speaker");
+        s.histogram("deadline_slack_us", &slack)
+            .gauge("jitter_buffer_bytes", depth as f64)
+            .gauge("sync_offset_us", offset.unwrap_or(0) as f64)
+            .gauge("quality_loss_fraction", report.loss_fraction)
+            .gauge("quality_jitter_us", report.jitter_us)
+            .counter("quality_reordered", report.reordered)
+            .counter("quality_duplicates", report.duplicates);
     }
 
     fn on_datagram(&self, sim: &mut Sim, dg: Datagram) {
@@ -337,10 +418,11 @@ impl EthernetSpeaker {
         match pkt {
             Packet::Control(c) => self.on_control(sim, c),
             Packet::Data(d) => {
-                self.state
-                    .borrow_mut()
-                    .monitor
-                    .on_packet(d.seq, d.play_at_us, sim.now().as_micros());
+                self.state.borrow_mut().monitor.on_packet(
+                    d.seq,
+                    d.play_at_us,
+                    sim.now().as_micros(),
+                );
                 // Feed the FEC tracker first: a recovered packet from an
                 // earlier group plays like any other.
                 let recovered = self
@@ -542,6 +624,7 @@ impl EthernetSpeaker {
         let spk = self.clone();
         sim.schedule_at(decoded_at, move |sim| {
             let epsilon = spk.state.borrow().cfg.epsilon;
+            spk.observe_slack(sim, deadline);
             match decide(deadline, sim.now(), epsilon) {
                 PlayDecision::Sleep(d) => {
                     let spk2 = spk.clone();
@@ -549,7 +632,7 @@ impl EthernetSpeaker {
                 }
                 PlayDecision::PlayNow => spk.serial_write(sim, samples),
                 PlayDecision::Discard { .. } => {
-                    spk.state.borrow_mut().stats.dropped_late += 1;
+                    spk.note_late_drop(sim, deadline);
                     spk.finish_serial(sim);
                 }
             }
@@ -615,6 +698,7 @@ impl EthernetSpeaker {
             return;
         }
         let epsilon = self.state.borrow().cfg.epsilon;
+        self.observe_slack(sim, deadline);
         match decide(deadline, sim.now(), epsilon) {
             PlayDecision::Sleep(d) => {
                 let spk = self.clone();
@@ -622,8 +706,37 @@ impl EthernetSpeaker {
             }
             PlayDecision::PlayNow => self.write_out(sim, samples),
             PlayDecision::Discard { .. } => {
-                self.state.borrow_mut().stats.dropped_late += 1;
+                self.note_late_drop(sim, deadline);
             }
+        }
+    }
+
+    /// Records how early (or late: slack 0) a block reached the play
+    /// decision.
+    fn observe_slack(&self, sim: &mut Sim, deadline: SimTime) {
+        let slack = deadline.saturating_since(sim.now());
+        self.state
+            .borrow_mut()
+            .deadline_slack_us
+            .observe(slack.as_micros());
+    }
+
+    /// Counts a §3.2 deadline miss and journals it.
+    fn note_late_drop(&self, sim: &mut Sim, deadline: SimTime) {
+        let mut st = self.state.borrow_mut();
+        st.stats.dropped_late += 1;
+        if let Some(j) = st.journal.clone() {
+            let late = sim.now().saturating_since(deadline);
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Debug,
+                "speaker",
+                "data packet discarded past deadline",
+                &[
+                    ("speaker", st.cfg.name.clone()),
+                    ("late_us", late.as_micros().to_string()),
+                ],
+            );
         }
     }
 

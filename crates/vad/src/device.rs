@@ -189,6 +189,21 @@ pub struct DevStats {
     pub silence_bytes: u64,
     /// Interrupt-routine invocations.
     pub interrupts: u64,
+    /// Bytes currently buffered in the ring (occupancy at snapshot
+    /// time).
+    pub ring_occupancy: usize,
+}
+
+impl es_telemetry::Telemetry for DevStats {
+    fn record(&self, registry: &mut es_telemetry::Registry) {
+        let mut s = registry.component("vad");
+        s.counter("dev_bytes_written", self.bytes_written)
+            .counter("dev_bytes_consumed", self.bytes_consumed)
+            .counter("underruns", self.underruns)
+            .counter("silence_bytes", self.silence_bytes)
+            .counter("interrupts", self.interrupts)
+            .gauge("ring_occupancy_bytes", self.ring_occupancy as f64);
+    }
 }
 
 /// The high-level audio device — the `/dev/audio` an application opens.
@@ -367,6 +382,7 @@ impl AudioDevice {
             underruns: inner.ring.underruns(),
             silence_bytes: inner.ring.silence_bytes(),
             interrupts: inner.intr_count,
+            ring_occupancy: inner.ring.used(),
         }
     }
 

@@ -35,6 +35,15 @@ pub struct InputStats {
     pub overrun_bytes: u64,
 }
 
+impl es_telemetry::Telemetry for InputStats {
+    fn record(&self, registry: &mut es_telemetry::Registry) {
+        let mut s = registry.component("vad");
+        s.counter("input_bytes_injected", self.bytes_injected)
+            .counter("input_bytes_read", self.bytes_read)
+            .counter("input_overrun_bytes", self.overrun_bytes);
+    }
+}
+
 struct InputState {
     config: AudioConfig,
     ring: AudioRing,

@@ -137,6 +137,15 @@ pub struct VadStats {
     pub buffered_audio_bytes: usize,
 }
 
+impl es_telemetry::Telemetry for VadStats {
+    fn record(&self, registry: &mut es_telemetry::Registry) {
+        let mut s = registry.component("vad");
+        s.counter("audio_bytes_forwarded", self.audio_bytes_forwarded)
+            .counter("config_updates", self.config_updates)
+            .gauge("master_buffered_bytes", self.buffered_audio_bytes as f64);
+    }
+}
+
 /// Creates a VAD pair: the slave [`AudioDevice`] an application opens
 /// plus the [`VadMaster`] the rebroadcaster reads.
 ///
@@ -462,10 +471,9 @@ mod tests {
         while offset < data.len() {
             let n = slave.write(&mut sim, &data[offset..]).unwrap();
             offset += n;
-            if n == 0
-                && !sim.step() {
-                    panic!("stalled with ring full");
-                }
+            if n == 0 && !sim.step() {
+                panic!("stalled with ring full");
+            }
         }
         sim.run_for(SimDuration::from_millis(100));
         assert_eq!(drained.get(), five_secs_bytes);

@@ -10,10 +10,8 @@
 //!
 //! Run: `cargo run --example building_pa`
 
-use es_core::{ChannelSpec, OverrideController, Source, SpeakerSpec, SystemBuilder};
-use es_net::McastGroup;
+use es_core::prelude::*;
 use es_proto::FLAG_PRIORITY;
-use es_sim::{SimDuration, SimTime};
 use es_speaker::{AmbientProfile, AutoVolumeConfig};
 
 fn main() {
@@ -21,16 +19,16 @@ fn main() {
     let pa = McastGroup(9);
     let catalog = McastGroup(0);
 
-    let mut music_ch = ChannelSpec::new(1, music, "background-music");
-    music_ch.source = Source::Music;
-    music_ch.duration = SimDuration::from_secs(30);
+    let music_ch = ChannelSpec::new(1, music, "background-music")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(30));
 
     // The crew keys the PA at t=10s for five seconds.
-    let mut pa_ch = ChannelSpec::new(2, pa, "announcements");
-    pa_ch.source = Source::Tone(700.0);
-    pa_ch.duration = SimDuration::from_secs(5);
-    pa_ch.start_at = SimDuration::from_secs(10);
-    pa_ch.flags = FLAG_PRIORITY;
+    let pa_ch = ChannelSpec::new(2, pa, "announcements")
+        .source(Source::Tone(700.0))
+        .duration(SimDuration::from_secs(5))
+        .start_at(SimDuration::from_secs(10))
+        .flags(FLAG_PRIORITY);
 
     // Rooms with different noise profiles: the lobby gets loud at 8 s.
     let lobby_noise = AmbientProfile::steps(vec![(0.0, 0.05), (8.0, 0.4)]);

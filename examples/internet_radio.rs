@@ -14,17 +14,14 @@
 //!
 //! Run: `cargo run --example internet_radio`
 
-use es_core::{ChannelSpec, Source, SpeakerSpec, SystemBuilder};
-use es_net::McastGroup;
-use es_rebroadcast::CompressionPolicy;
-use es_sim::{SimDuration, SimTime};
+use es_core::prelude::*;
 
 fn run_once(policy: CompressionPolicy, label: &str, listeners: usize) {
     let group = McastGroup(1);
-    let mut ch = ChannelSpec::new(1, group, "internet-radio");
-    ch.source = Source::Music; // The decoded WAN stream.
-    ch.duration = SimDuration::from_secs(22);
-    ch.policy = policy;
+    let ch = ChannelSpec::new(1, group, "internet-radio")
+        .source(Source::Music) // The decoded WAN stream.
+        .duration(SimDuration::from_secs(22))
+        .policy(policy);
     let mut builder = SystemBuilder::new(99).channel(ch);
     for i in 0..listeners {
         builder = builder.speaker(SpeakerSpec::new(format!("room-{i}"), group));

@@ -9,15 +9,13 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use es_core::{ChannelSpec, Source, SpeakerSpec, SystemBuilder};
-use es_net::McastGroup;
-use es_sim::{SimDuration, SimTime};
+use es_core::prelude::*;
 
 fn main() {
     let group = McastGroup(1);
-    let mut channel = ChannelSpec::new(1, group, "campus-radio");
-    channel.source = Source::Music;
-    channel.duration = SimDuration::from_secs(12);
+    let channel = ChannelSpec::new(1, group, "campus-radio")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(12));
 
     let mut sys = SystemBuilder::new(42)
         .channel(channel)
@@ -66,6 +64,27 @@ fn main() {
         ) {
             println!("  playback offset speaker0 vs speaker{other}: {off}");
         }
+    }
+
+    // The unified telemetry view: one snapshot across every component.
+    let metrics = sys.metrics();
+    println!("\ntelemetry ({} metrics):", metrics.len());
+    for path in [
+        "net/lan0/frames_delivered",
+        "rebroadcast/ch0/rate_sleeps",
+        "speaker/lobby/samples_played",
+    ] {
+        if let Some(v) = metrics.counter(path) {
+            println!("  {path} = {v}");
+        }
+    }
+    let journal = sys.journal();
+    println!(
+        "journal: {} events (virtual-time stamps); last entries:",
+        journal.len()
+    );
+    for ev in journal.events().iter().rev().take(3).rev() {
+        println!("  {}", ev.to_json_line());
     }
 
     let spk = sys.speaker(0).expect("speaker 0");

@@ -17,20 +17,26 @@ use std::time::Duration;
 
 use es_audio::gen::MultiTone;
 use es_codec::CodecId;
+use es_core::prelude::*;
 use es_core::{run_live_producer, run_live_speaker, LiveProducerConfig};
 
 fn main() {
     let channel = 23;
     let port = 47_123;
     let clip = Duration::from_secs(3);
+    // Both ends share one journal; every event carries a wall-clock
+    // stamp — the same instrumented paths as the simulator, other
+    // time domain.
+    let journal = Journal::new();
 
     println!("starting a speaker thread on channel {channel} (udp port {port})...");
+    let j2 = journal.clone();
     let spk1 = std::thread::spawn(move || {
-        run_live_speaker(channel, port, clip + Duration::from_millis(800))
+        run_live_speaker(channel, port, clip + Duration::from_millis(800), Some(j2))
     });
     std::thread::sleep(Duration::from_millis(200));
 
-    let mut cfg = LiveProducerConfig::new(channel, port);
+    let mut cfg = LiveProducerConfig::new(channel, port).with_journal(journal.clone());
     cfg.codec = CodecId::Ovl;
     println!(
         "streaming {:?} of CD audio, OVL quality {} (paper's max) ...",
@@ -53,9 +59,16 @@ fn main() {
         clip
     );
 
+    // Wall-time telemetry: the same Telemetry trait and registry as
+    // the simulator path.
+    let mut reg = Registry::new();
+    reg.set_instance("live");
+    produced.record(&mut reg);
+
     for (i, h) in [spk1].into_iter().enumerate() {
         match h.join().expect("speaker thread") {
             Ok(heard) => {
+                heard.record(&mut reg);
                 let secs = heard
                     .config
                     .map(|c| {
@@ -85,5 +98,12 @@ fn main() {
             }
             Err(e) => println!("speaker {i}: could not join multicast ({e})"),
         }
+    }
+
+    println!("\ntelemetry snapshot (JSON lines):");
+    print!("{}", reg.snapshot().to_json_lines());
+    println!("journal ({} wall-clock events):", journal.len());
+    for ev in journal.events() {
+        println!("  {}", ev.to_json_line());
     }
 }

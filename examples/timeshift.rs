@@ -79,6 +79,16 @@ fn main() {
     sim.run_for(SimDuration::from_secs(16));
     assert!(app.is_finished());
 
+    // The VAD's own counters through the unified telemetry registry.
+    let mut reg = es_telemetry::Registry::new();
+    es_telemetry::Telemetry::record(&master.stats(), &mut reg);
+    let snap = reg.snapshot();
+    println!(
+        "vad telemetry: {} bytes forwarded, {} config updates",
+        snap.counter("vad/0/audio_bytes_forwarded").unwrap_or(0),
+        snap.counter("vad/0/config_updates").unwrap_or(0),
+    );
+
     let rec = rec.borrow();
     let secs = rec.samples.len() as f64 / (44_100.0 * 2.0);
     println!(

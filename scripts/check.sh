@@ -1,0 +1,22 @@
+#!/bin/sh
+# The full local gate: formatting, lints (warnings are errors), the
+# tier-1 verify line (see ROADMAP.md), and the rest of the workspace's
+# tests. Run from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "== workspace tests"
+cargo test --workspace -q
+
+echo "ok"

@@ -13,13 +13,13 @@ use es_sim::{SimDuration, SimTime};
 fn signed_system(seed: u64) -> (es_core::EsSystem, Rc<StreamSigner>) {
     let group = McastGroup(1);
     let signer = Rc::new(StreamSigner::new(b"campus-key", 4_000, 2));
-    let mut ch = ChannelSpec::new(1, group, "secure-pa");
-    ch.source = Source::Tone(500.0);
-    ch.duration = SimDuration::from_secs(10);
-    ch.policy = CompressionPolicy::Never;
-    ch.signer = Some(signer.clone());
     // Short auth intervals so keys disclose quickly relative to the
     // 200 ms playout budget.
+    let ch = ChannelSpec::new(1, group, "secure-pa")
+        .source(Source::Tone(500.0))
+        .duration(SimDuration::from_secs(10))
+        .policy(CompressionPolicy::Never)
+        .signer(signer.clone());
     let sys = SystemBuilder::new(seed)
         .channel(ch)
         .speaker(SpeakerSpec::new("es", group).with_auth_anchor(signer.anchor()))
@@ -55,11 +55,11 @@ fn unauthenticated_speaker_cannot_play_signed_stream() {
     // sits in the wrong place).
     let group = McastGroup(1);
     let signer = Rc::new(StreamSigner::new(b"campus-key", 4_000, 2));
-    let mut ch = ChannelSpec::new(1, group, "secure-pa");
-    ch.source = Source::Tone(500.0);
-    ch.duration = SimDuration::from_secs(5);
-    ch.policy = CompressionPolicy::Never;
-    ch.signer = Some(signer.clone());
+    let ch = ChannelSpec::new(1, group, "secure-pa")
+        .source(Source::Tone(500.0))
+        .duration(SimDuration::from_secs(5))
+        .policy(CompressionPolicy::Never)
+        .signer(signer.clone());
     let mut sys = SystemBuilder::new(2)
         .channel(ch)
         .speaker(SpeakerSpec::new("naive", group))

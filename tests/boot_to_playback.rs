@@ -44,12 +44,12 @@ fn booted_machines_tune_their_configured_channels() {
 
     // Bring up the LAN with a channel per group; each speaker joins the
     // group its boot configuration names.
-    let mut ch1 = ChannelSpec::new(1, McastGroup(1), "music");
-    ch1.source = Source::Music;
-    ch1.duration = SimDuration::from_secs(6);
-    let mut ch2 = ChannelSpec::new(2, McastGroup(2), "news");
-    ch2.source = Source::Tone(300.0);
-    ch2.duration = SimDuration::from_secs(6);
+    let ch1 = ChannelSpec::new(1, McastGroup(1), "music")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(6));
+    let ch2 = ChannelSpec::new(2, McastGroup(2), "news")
+        .source(Source::Tone(300.0))
+        .duration(SimDuration::from_secs(6));
     let mut sys = SystemBuilder::new(77)
         .channel(ch1)
         .channel(ch2)

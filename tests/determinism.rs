@@ -7,9 +7,9 @@ use es_sim::{SimDuration, SimTime};
 
 fn run_fingerprint(seed: u64) -> (u64, u64, u64, u64, Vec<i16>) {
     let group = McastGroup(1);
-    let mut ch = ChannelSpec::new(1, group, "stream");
-    ch.source = Source::Music;
-    ch.duration = SimDuration::from_secs(5);
+    let ch = ChannelSpec::new(1, group, "stream")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(5));
     let mut sys = SystemBuilder::new(seed)
         .lan(LanConfig::lossy(0.02, SimDuration::from_micros(500)))
         .channel(ch)
@@ -58,10 +58,10 @@ fn virtual_time_outruns_wall_time() {
     // (the whole point of the discrete-event substrate).
     let start = std::time::Instant::now();
     let group = McastGroup(1);
-    let mut ch = ChannelSpec::new(1, group, "stream");
-    ch.source = Source::Tone(440.0);
-    ch.duration = SimDuration::from_secs(62);
-    ch.policy = es_rebroadcast::CompressionPolicy::Never;
+    let ch = ChannelSpec::new(1, group, "stream")
+        .source(Source::Tone(440.0))
+        .duration(SimDuration::from_secs(62))
+        .policy(es_rebroadcast::CompressionPolicy::Never);
     let mut sys = SystemBuilder::new(5)
         .channel(ch)
         .speaker(SpeakerSpec::new("es", group))

@@ -12,10 +12,10 @@ use es_sim::{SimDuration, SimTime};
 #[test]
 fn compressed_stream_plays_faithfully_everywhere() {
     let group = McastGroup(1);
-    let mut ch = ChannelSpec::new(1, group, "radio");
-    ch.source = Source::Music;
-    ch.duration = SimDuration::from_secs(8);
-    ch.policy = CompressionPolicy::paper_default();
+    let ch = ChannelSpec::new(1, group, "radio")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(8))
+        .policy(CompressionPolicy::paper_default());
     let mut sys = SystemBuilder::new(11)
         .channel(ch)
         .speaker(SpeakerSpec::new("a", group))
@@ -75,9 +75,9 @@ fn config_change_propagates_in_band() {
     use std::rc::Rc;
 
     let group = McastGroup(1);
-    let mut ch = ChannelSpec::new(1, group, "stream");
-    ch.duration = SimDuration::from_secs(3);
-    ch.policy = CompressionPolicy::Never;
+    let ch = ChannelSpec::new(1, group, "stream")
+        .duration(SimDuration::from_secs(3))
+        .policy(CompressionPolicy::Never);
     let mut sys = SystemBuilder::new(5)
         .channel(ch)
         .speaker(SpeakerSpec::new("es", group))
@@ -143,9 +143,9 @@ fn config_change_propagates_in_band() {
 fn legacy_lan_fits_compressed_channels() {
     let mut builder = SystemBuilder::new(3).lan(LanConfig::legacy_10mbps());
     for i in 0..4u16 {
-        let mut ch = ChannelSpec::new(i + 1, McastGroup(i + 1), format!("ch{i}"));
-        ch.duration = SimDuration::from_secs(8);
-        ch.policy = CompressionPolicy::paper_default();
+        let ch = ChannelSpec::new(i + 1, McastGroup(i + 1), format!("ch{i}"))
+            .duration(SimDuration::from_secs(8))
+            .policy(CompressionPolicy::paper_default());
         builder = builder.channel(ch);
         builder = builder.speaker(SpeakerSpec::new(format!("es{i}"), McastGroup(i + 1)));
     }

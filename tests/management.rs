@@ -13,11 +13,10 @@ fn browser_sees_catalog_and_speaker_switches_channels() {
     let music = McastGroup(1);
     let news = McastGroup(2);
     let catalog = McastGroup(0);
-    let mut ch1 = ChannelSpec::new(1, music, "music");
-    ch1.duration = SimDuration::from_secs(12);
-    let mut ch2 = ChannelSpec::new(2, news, "news");
-    ch2.source = Source::Tone(350.0);
-    ch2.duration = SimDuration::from_secs(12);
+    let ch1 = ChannelSpec::new(1, music, "music").duration(SimDuration::from_secs(12));
+    let ch2 = ChannelSpec::new(2, news, "news")
+        .source(Source::Tone(350.0))
+        .duration(SimDuration::from_secs(12));
     let mut sys = SystemBuilder::new(4)
         .channel(ch1)
         .channel(ch2)
@@ -69,13 +68,12 @@ fn browser_sees_catalog_and_speaker_switches_channels() {
 fn announcement_override_full_cycle_with_live_audio() {
     let music = McastGroup(1);
     let pa = McastGroup(9);
-    let mut music_ch = ChannelSpec::new(1, music, "music");
-    music_ch.duration = SimDuration::from_secs(20);
-    let mut pa_ch = ChannelSpec::new(2, pa, "announcement");
-    pa_ch.source = Source::Tone(800.0);
-    pa_ch.duration = SimDuration::from_secs(3);
-    pa_ch.start_at = SimDuration::from_secs(6);
-    pa_ch.flags = FLAG_PRIORITY;
+    let music_ch = ChannelSpec::new(1, music, "music").duration(SimDuration::from_secs(20));
+    let pa_ch = ChannelSpec::new(2, pa, "announcement")
+        .source(Source::Tone(800.0))
+        .duration(SimDuration::from_secs(3))
+        .start_at(SimDuration::from_secs(6))
+        .flags(FLAG_PRIORITY);
     let mut sys = SystemBuilder::new(8)
         .channel(music_ch)
         .channel(pa_ch)

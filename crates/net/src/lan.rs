@@ -17,7 +17,7 @@
 
 use bytes::Bytes;
 
-use es_sim::random::{chance, normal};
+use es_sim::random::{chance, normal, GilbertElliott};
 use es_sim::{shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
 use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 
@@ -68,6 +68,43 @@ pub enum MediumMode {
     SharedHub,
 }
 
+/// Gilbert–Elliott burst-loss parameters (per receiver, per fragment).
+///
+/// When set on a [`LanConfig`] this *replaces* the i.i.d. `loss_prob`
+/// model: each receiver carries its own two-state chain, stepped once
+/// per wire fragment, losing fragments at `loss_good` in the quiet
+/// state and `loss_bad` inside a burst.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLossConfig {
+    /// Per-step probability of entering a burst.
+    pub p_good_to_bad: f64,
+    /// Per-step probability of a burst ending (mean burst length is its
+    /// reciprocal, in fragments).
+    pub p_bad_to_good: f64,
+    /// Fragment loss probability in the quiet state.
+    pub loss_good: f64,
+    /// Fragment loss probability inside a burst.
+    pub loss_bad: f64,
+}
+
+impl BurstLossConfig {
+    /// A convenient bursty profile: clean quiet state, bursts of mean
+    /// length `mean_burst` fragments arriving so that the long-run
+    /// fragment loss rate is roughly `target_loss` (burst-state loss is
+    /// total).
+    pub fn bursty(target_loss: f64, mean_burst: f64) -> Self {
+        let p_bad_to_good = 1.0 / mean_burst.max(1.0);
+        // Stationary bad occupancy g/(g+b) == target_loss.
+        let p_good_to_bad = (target_loss * p_bad_to_good / (1.0 - target_loss).max(1e-9)).min(1.0);
+        BurstLossConfig {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
+    }
+}
+
 /// LAN physical parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct LanConfig {
@@ -78,13 +115,25 @@ pub struct LanConfig {
     pub propagation: SimDuration,
     /// Standard deviation of Gaussian per-receiver delivery jitter.
     pub jitter_std: SimDuration,
-    /// Independent per-receiver drop probability.
+    /// Independent per-receiver, per-fragment drop probability (ignored
+    /// while `burst` is set).
     pub loss_prob: f64,
     /// Maximum UDP payload per wire frame; larger datagrams fragment
     /// and are lost whole if any fragment is lost.
     pub mtu: usize,
     /// Switched or shared medium.
     pub medium: MediumMode,
+    /// Two-state burst loss; `None` keeps the i.i.d. `loss_prob` model.
+    pub burst: Option<BurstLossConfig>,
+    /// Probability a delivery is reordered: held back by
+    /// `reorder_delay` so later traffic overtakes it.
+    pub reorder_prob: f64,
+    /// How long a reordered delivery is held back (bounded — the packet
+    /// is late, never dropped by the reorderer itself).
+    pub reorder_delay: SimDuration,
+    /// Probability a delivery is duplicated; the copy trails the
+    /// original by one extra propagation delay.
+    pub duplicate_prob: f64,
 }
 
 impl Default for LanConfig {
@@ -96,6 +145,10 @@ impl Default for LanConfig {
             loss_prob: 0.0,
             mtu: 1_472,
             medium: MediumMode::Switched,
+            burst: None,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+            duplicate_prob: 0.0,
         }
     }
 }
@@ -120,6 +173,33 @@ impl LanConfig {
             ..LanConfig::default()
         }
     }
+
+    /// Gilbert–Elliott burst loss on an otherwise clean LAN.
+    pub fn bursty(target_loss: f64, mean_burst: f64) -> Self {
+        LanConfig {
+            burst: Some(BurstLossConfig::bursty(target_loss, mean_burst)),
+            ..LanConfig::default()
+        }
+    }
+
+    /// A reordering LAN: each delivery is held back by `delay` with
+    /// probability `prob`.
+    pub fn reordering(prob: f64, delay: SimDuration) -> Self {
+        LanConfig {
+            reorder_prob: prob,
+            reorder_delay: delay,
+            ..LanConfig::default()
+        }
+    }
+
+    /// A duplicating LAN: each delivery is copied with probability
+    /// `prob`.
+    pub fn duplicating(prob: f64) -> Self {
+        LanConfig {
+            duplicate_prob: prob,
+            ..LanConfig::default()
+        }
+    }
 }
 
 /// Aggregate traffic counters.
@@ -129,10 +209,22 @@ pub struct LanStats {
     pub datagrams_sent: u64,
     /// Datagrams submitted to a multicast destination.
     pub multicast_sent: u64,
-    /// Datagram deliveries (one per receiver).
+    /// Datagram deliveries (one per receiver; duplicates count again).
     pub datagrams_delivered: u64,
-    /// Deliveries suppressed by the loss model.
+    /// Deliveries suppressed by the loss model (including partition
+    /// drops).
     pub datagrams_lost: u64,
+    /// Lost multi-fragment datagrams where only *some* fragments were
+    /// dropped — reassembly failures, kept distinct from whole-datagram
+    /// loss so burst statistics stay honest.
+    pub datagrams_lost_partial: u64,
+    /// Deliveries suppressed because the receiver was partitioned
+    /// (subset of `datagrams_lost`).
+    pub datagrams_partitioned: u64,
+    /// Deliveries held back by the reorder impairment.
+    pub datagrams_reordered: u64,
+    /// Extra copies created by the duplication impairment.
+    pub datagrams_duplicated: u64,
     /// Payload bytes submitted.
     pub payload_bytes_sent: u64,
     /// Bytes on the wire including fragmentation and frame overhead.
@@ -164,6 +256,10 @@ impl Telemetry for LanStats {
         s.counter("frames_sent", self.datagrams_sent)
             .counter("frames_delivered", self.datagrams_delivered)
             .counter("frames_dropped", self.datagrams_lost)
+            .counter("frames_dropped_partial", self.datagrams_lost_partial)
+            .counter("frames_partitioned", self.datagrams_partitioned)
+            .counter("frames_reordered", self.datagrams_reordered)
+            .counter("frames_duplicated", self.datagrams_duplicated)
             .counter("multicast_frames", self.multicast_sent)
             .counter("payload_bytes_sent", self.payload_bytes_sent)
             .counter("wire_bytes_sent", self.wire_bytes_sent)
@@ -178,6 +274,11 @@ struct Node {
     handler: Option<RecvHandler>,
     groups: Vec<McastGroup>,
     link_busy_until: SimTime,
+    /// Per-receiver Gilbert–Elliott burst-loss chain state.
+    burst_chain: GilbertElliott,
+    /// While set and in the future, every delivery to this node drops
+    /// (its switch port is dark).
+    partitioned_until: Option<SimTime>,
 }
 
 struct LanInner {
@@ -230,6 +331,8 @@ impl Lan {
             handler: None,
             groups: Vec::new(),
             link_busy_until: SimTime::ZERO,
+            burst_chain: GilbertElliott::new(),
+            partitioned_until: None,
         });
         NodeId(inner.nodes.len() as u32 - 1)
     }
@@ -265,6 +368,87 @@ impl Lan {
         self.inner.borrow().nodes[node.0 as usize]
             .groups
             .contains(&group)
+    }
+
+    /// The LAN's current physical parameters.
+    pub fn config(&self) -> LanConfig {
+        self.inner.borrow().config
+    }
+
+    /// Replaces the LAN's physical parameters mid-run — the scheduled
+    /// impairment transition a chaos scenario scripts on the sim clock.
+    /// Traffic already serialized keeps its old delivery schedule; the
+    /// next [`Lan::send`] sees the new config. Journaled when a journal
+    /// is attached.
+    pub fn set_config(&self, sim: &mut Sim, config: LanConfig) {
+        let journal = {
+            let mut inner = self.inner.borrow_mut();
+            inner.config = config;
+            inner.journal.clone()
+        };
+        if let Some(j) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "net",
+                "lan configuration changed",
+                &[
+                    ("loss_prob", format!("{}", config.loss_prob)),
+                    ("burst", config.burst.is_some().to_string()),
+                    ("jitter_std_us", config.jitter_std.as_micros().to_string()),
+                    ("reorder_prob", format!("{}", config.reorder_prob)),
+                    ("duplicate_prob", format!("{}", config.duplicate_prob)),
+                ],
+            );
+        }
+    }
+
+    /// Cuts `node` off from the LAN until `until`: every delivery to it
+    /// in the window is dropped (and counted as partitioned). A second
+    /// call extends or shortens the window; [`Lan::heal`] ends it early.
+    pub fn partition(&self, sim: &mut Sim, node: NodeId, until: SimTime) {
+        let journal = {
+            let mut inner = self.inner.borrow_mut();
+            inner.nodes[node.0 as usize].partitioned_until = Some(until);
+            inner.journal.clone()
+        };
+        if let Some(j) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Warn,
+                "net",
+                "receiver partitioned",
+                &[
+                    ("node", self.node_name(node)),
+                    ("until_us", until.as_micros().to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Ends `node`'s partition window immediately.
+    pub fn heal(&self, sim: &mut Sim, node: NodeId) {
+        let journal = {
+            let mut inner = self.inner.borrow_mut();
+            inner.nodes[node.0 as usize].partitioned_until = None;
+            inner.journal.clone()
+        };
+        if let Some(j) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "net",
+                "receiver partition healed",
+                &[("node", self.node_name(node))],
+            );
+        }
+    }
+
+    /// True while `node` sits inside a partition window at `now`.
+    pub fn is_partitioned(&self, node: NodeId, now: SimTime) -> bool {
+        self.inner.borrow().nodes[node.0 as usize]
+            .partitioned_until
+            .is_some_and(|until| now < until)
     }
 
     /// Snapshot of the traffic counters.
@@ -356,20 +540,58 @@ impl Lan {
                     .collect(),
             };
 
-            // Loss: any lost fragment loses the datagram for that
-            // receiver; with f fragments the datagram survives with
-            // probability (1-p)^f.
-            let survive_prob = (1.0 - config.loss_prob).powi(frags as i32);
-            let mut kept = Vec::with_capacity(receivers.len());
+            // Per-receiver impairments. Loss is sampled per wire
+            // fragment (independently, or through the receiver's
+            // Gilbert–Elliott chain when burst loss is configured); any
+            // lost fragment fails reassembly and loses the datagram for
+            // that receiver. Surviving deliveries may then be reordered
+            // (held back) or duplicated.
+            let now = sim.now();
+            let mut kept: Vec<(u32, SimDuration)> = Vec::with_capacity(receivers.len());
             let mut lost = 0u64;
             for r in receivers {
-                if chance(sim.rng(), survive_prob) {
-                    kept.push(r);
-                } else {
+                if inner.nodes[r as usize]
+                    .partitioned_until
+                    .is_some_and(|until| now < until)
+                {
+                    inner.stats.datagrams_lost += 1;
+                    inner.stats.datagrams_partitioned += 1;
                     lost += 1;
+                    continue;
+                }
+                let mut lost_frags = 0usize;
+                for _ in 0..frags {
+                    let frag_lost = match config.burst {
+                        Some(b) => inner.nodes[r as usize].burst_chain.step(
+                            sim.rng(),
+                            b.p_good_to_bad,
+                            b.p_bad_to_good,
+                            b.loss_good,
+                            b.loss_bad,
+                        ),
+                        None => config.loss_prob > 0.0 && chance(sim.rng(), config.loss_prob),
+                    };
+                    lost_frags += frag_lost as usize;
+                }
+                if lost_frags > 0 {
+                    inner.stats.datagrams_lost += 1;
+                    if frags > 1 && lost_frags < frags {
+                        inner.stats.datagrams_lost_partial += 1;
+                    }
+                    lost += 1;
+                    continue;
+                }
+                let mut extra = SimDuration::ZERO;
+                if config.reorder_prob > 0.0 && chance(sim.rng(), config.reorder_prob) {
+                    extra = config.reorder_delay;
+                    inner.stats.datagrams_reordered += 1;
+                }
+                kept.push((r, extra));
+                if config.duplicate_prob > 0.0 && chance(sim.rng(), config.duplicate_prob) {
+                    inner.stats.datagrams_duplicated += 1;
+                    kept.push((r, extra + config.propagation));
                 }
             }
-            inner.stats.datagrams_lost += lost;
             (done + config.propagation, kept, lost)
         };
         if lost_count > 0 {
@@ -390,7 +612,7 @@ impl Lan {
             }
         }
 
-        for r in receivers {
+        for (r, extra) in receivers {
             let jitter = {
                 let inner = self.inner.borrow();
                 if inner.config.jitter_std.is_zero() {
@@ -400,7 +622,7 @@ impl Lan {
                     SimDuration::from_nanos(ns.max(0.0) as u64)
                 }
             };
-            let at = deliver_at_base + jitter;
+            let at = deliver_at_base + extra + jitter;
             let lan = lan.clone();
             let dg = Datagram {
                 src: from,
@@ -730,5 +952,209 @@ mod tests {
         sim.run();
         assert_eq!(got.borrow().len(), 1);
         assert_eq!(got.borrow()[0].1, b"ping");
+    }
+
+    #[test]
+    fn burst_loss_clusters_drops() {
+        // Same long-run loss rate, but Gilbert–Elliott losses arrive in
+        // runs: the count of loss runs must be far below the count an
+        // i.i.d. model produces at the same rate.
+        let run = |config: LanConfig| -> (f64, usize) {
+            let mut sim = Sim::new(42);
+            let lan = Lan::new(config);
+            let a = lan.attach("a");
+            let b = lan.attach("b");
+            let g = McastGroup(0);
+            lan.join(b, g);
+            let log = collect_deliveries(&lan, b);
+            let n = 4_000u64;
+            for i in 0..n {
+                lan.multicast(&mut sim, a, g, Bytes::from(vec![(i % 251) as u8]));
+                sim.run();
+            }
+            // Reconstruct the loss pattern from which payloads arrived.
+            let delivered: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+            let mut runs = 0usize;
+            let mut idx = 0usize;
+            let mut in_run = false;
+            for i in 0..n {
+                let got = delivered.get(idx) == Some(&((i % 251) as u8));
+                if got {
+                    idx += 1;
+                    in_run = false;
+                } else if !in_run {
+                    runs += 1;
+                    in_run = true;
+                }
+            }
+            (1.0 - delivered.len() as f64 / n as f64, runs)
+        };
+        let (rate_iid, runs_iid) = run(LanConfig::lossy(0.2, SimDuration::ZERO));
+        let (rate_ge, runs_ge) = run(LanConfig::bursty(0.2, 12.0));
+        assert!((rate_iid - 0.2).abs() < 0.04, "iid loss rate {rate_iid}");
+        assert!((rate_ge - 0.2).abs() < 0.06, "burst loss rate {rate_ge}");
+        assert!(
+            runs_ge * 3 < runs_iid,
+            "bursts not clustered: {runs_ge} runs vs iid {runs_iid}"
+        );
+    }
+
+    #[test]
+    fn reorder_holds_deliveries_back() {
+        let mut sim = Sim::new(9);
+        let hold = SimDuration::from_millis(5);
+        let lan = Lan::new(LanConfig::reordering(0.3, hold));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let log = collect_deliveries(&lan, b);
+        let n = 500u64;
+        for i in 0..n {
+            let lan2 = lan.clone();
+            sim.schedule_at(SimTime::from_millis(i), move |sim| {
+                lan2.multicast(sim, a, g, Bytes::from(vec![(i % 251) as u8]));
+            });
+        }
+        sim.run();
+        let stats = lan.stats();
+        assert!(
+            stats.datagrams_reordered > 0,
+            "no deliveries were reordered"
+        );
+        assert_eq!(stats.datagrams_lost, 0, "reorder must never drop");
+        assert_eq!(log.borrow().len(), n as usize, "all packets delivered");
+        // Held-back packets really arrive out of order: the payload
+        // sequence as received is a permutation, not the identity.
+        let order: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+        let sent: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        assert_ne!(order, sent, "reordering left the stream in order");
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut sim = Sim::new(11);
+        let lan = Lan::new(LanConfig::duplicating(0.25));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let log = collect_deliveries(&lan, b);
+        let n = 2_000u64;
+        for _ in 0..n {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        let stats = lan.stats();
+        assert!(stats.datagrams_duplicated > 0);
+        assert_eq!(
+            log.borrow().len() as u64,
+            n + stats.datagrams_duplicated,
+            "each duplicate is one extra delivery"
+        );
+        let rate = stats.datagrams_duplicated as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.04, "duplication rate {rate}");
+    }
+
+    #[test]
+    fn partition_window_drops_then_heals() {
+        let mut sim = Sim::new(3);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let log = collect_deliveries(&lan, b);
+        lan.partition(&mut sim, b, SimTime::from_secs(1));
+        assert!(lan.is_partitioned(b, SimTime::ZERO));
+        assert!(!lan.is_partitioned(b, SimTime::from_secs(1)));
+        for ms in [0u64, 500, 1_500] {
+            let lan2 = lan.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |sim| {
+                lan2.multicast(sim, a, g, Bytes::from_static(b"p"));
+            });
+        }
+        sim.run();
+        // The two sends inside [0, 1 s) drop; the one after arrives.
+        assert_eq!(log.borrow().len(), 1);
+        let stats = lan.stats();
+        assert_eq!(stats.datagrams_partitioned, 2);
+        assert_eq!(stats.datagrams_lost, 2);
+
+        // An early heal reopens the port immediately.
+        lan.partition(&mut sim, b, SimTime::from_secs(10));
+        lan.heal(&mut sim, b);
+        lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+        sim.run();
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn set_config_switches_impairments_mid_run() {
+        let mut sim = Sim::new(5);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let log = collect_deliveries(&lan, b);
+        let n = 1_000;
+        for _ in 0..n {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        assert_eq!(log.borrow().len(), n, "clean phase delivers everything");
+        lan.set_config(&mut sim, LanConfig::lossy(1.0, SimDuration::ZERO));
+        assert_eq!(lan.config().loss_prob, 1.0);
+        for _ in 0..n {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        assert_eq!(log.borrow().len(), n, "total-loss phase delivers nothing");
+        lan.set_config(&mut sim, LanConfig::default());
+        lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+        sim.run();
+        assert_eq!(log.borrow().len(), n + 1, "recovery phase delivers again");
+    }
+
+    #[test]
+    fn partial_fragment_loss_counted_separately() {
+        // 4-fragment datagrams at moderate per-fragment loss: most lost
+        // datagrams lose only some fragments, and the partial counter
+        // must see them. Single-fragment datagrams must never count.
+        let mut sim = Sim::new(21);
+        let lan = Lan::new(LanConfig::lossy(0.15, SimDuration::ZERO));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        let g = McastGroup(0);
+        lan.join(b, g);
+        let _log = collect_deliveries(&lan, b);
+        for _ in 0..500 {
+            lan.multicast(&mut sim, a, g, Bytes::from(vec![0u8; 5_000]));
+            sim.run();
+        }
+        let stats = lan.stats();
+        assert!(stats.datagrams_lost > 0);
+        assert!(
+            stats.datagrams_lost_partial > 0,
+            "partial losses not counted"
+        );
+        assert!(stats.datagrams_lost_partial <= stats.datagrams_lost);
+
+        let mut sim = Sim::new(21);
+        let lan = Lan::new(LanConfig::lossy(0.5, SimDuration::ZERO));
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        lan.join(b, g);
+        let _log = collect_deliveries(&lan, b);
+        for _ in 0..200 {
+            lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
+            sim.run();
+        }
+        assert_eq!(
+            lan.stats().datagrams_lost_partial,
+            0,
+            "single-fragment datagrams cannot lose partially"
+        );
     }
 }

@@ -16,5 +16,6 @@ pub mod lan;
 pub mod udp;
 
 pub use lan::{
-    Datagram, Dest, Lan, LanConfig, LanStats, McastGroup, MediumMode, NodeId, WIRE_OVERHEAD,
+    BurstLossConfig, Datagram, Dest, Lan, LanConfig, LanStats, McastGroup, MediumMode, NodeId,
+    WIRE_OVERHEAD,
 };

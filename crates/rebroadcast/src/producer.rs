@@ -100,6 +100,11 @@ pub struct ProducerStats {
     pub encode_work_units: u64,
     /// Configuration changes observed.
     pub config_changes: u64,
+    /// Injected crashes ([`Rebroadcaster::crash`]).
+    pub crashes: u64,
+    /// Audio blocks consumed but never sent because the process was
+    /// down — each one is a sequence-number gap on the wire.
+    pub crash_dropped_blocks: u64,
 }
 
 impl ProducerStats {
@@ -123,6 +128,8 @@ impl Telemetry for ProducerStats {
             .counter("payload_bytes_out", self.payload_bytes_out)
             .counter("encode_work_units", self.encode_work_units)
             .counter("config_changes", self.config_changes)
+            .counter("crashes", self.crashes)
+            .counter("crash_dropped_blocks", self.crash_dropped_blocks)
             .gauge("compression_ratio", self.compression_ratio());
     }
 }
@@ -141,6 +148,10 @@ struct ProducerState {
     origin: Option<SimTime>,
     data_seq: u32,
     control_seq: u32,
+    /// While true the process is "down": audio drains into the void
+    /// (sequence numbers still advance, so receivers see wire loss) and
+    /// control packets stop.
+    crashed: bool,
     stats: ProducerStats,
     parity_acc: Option<es_proto::ParityAccumulator>,
     journal: Option<Journal>,
@@ -177,6 +188,7 @@ impl Rebroadcaster {
             origin: None,
             data_seq: 0,
             control_seq: 0,
+            crashed: false,
             stats: ProducerStats::default(),
             parity_acc,
             journal: None,
@@ -268,6 +280,14 @@ impl Rebroadcaster {
             let playout = st.cfg.playout_delay;
             let play_at = origin + SimDuration::from_nanos(st.stream_pos_ns as u64) + playout;
             st.stream_pos_ns += cfg.nanos_for_bytes(block.len() as u64) as u128;
+            if st.crashed {
+                // The stream clock and sequence space keep advancing so
+                // that post-restart deadlines stay continuous; receivers
+                // see the outage as wire loss.
+                st.data_seq += 1;
+                st.stats.crash_dropped_blocks += 1;
+                return;
+            }
             let send_at = st.cfg.rate_limiter.pace(sim.now(), &cfg, block.len());
             (send_at, play_at, cfg, st.codec, st.quality)
         };
@@ -309,6 +329,12 @@ impl Rebroadcaster {
                 let mut st = rb.state.borrow_mut();
                 let seq = st.data_seq;
                 st.data_seq += 1;
+                if st.crashed {
+                    // Encoded before the crash, due to leave after it:
+                    // the packet dies with the process.
+                    st.stats.crash_dropped_blocks += 1;
+                    return;
+                }
                 st.stats.data_packets += 1;
                 st.stats.payload_bytes_out += enc.bytes.len() as u64;
                 (seq, st.cfg.stream_id, st.cfg.group)
@@ -339,7 +365,7 @@ impl Rebroadcaster {
     fn send_control(&self, sim: &mut Sim) {
         let pkt = {
             let mut st = self.state.borrow_mut();
-            if !st.have_cfg {
+            if !st.have_cfg || st.crashed {
                 return;
             }
             let seq = st.control_seq;
@@ -378,6 +404,63 @@ impl Rebroadcaster {
         let interval = interval.min(signer.intervals());
         let trailer = signer.sign(interval, bytes);
         bytes.extend_from_slice(&trailer.encode());
+    }
+
+    /// Simulates the rebroadcaster process dying: data and control
+    /// packets stop (receivers therefore see a control-packet gap), but
+    /// the upstream VAD keeps producing, so the stream clock and
+    /// sequence numbers keep advancing. A second crash while down is a
+    /// no-op.
+    pub fn crash(&self, sim: &mut Sim) {
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            if st.crashed {
+                return;
+            }
+            st.crashed = true;
+            st.stats.crashes += 1;
+            st.journal.clone()
+        };
+        if let Some(j) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Error,
+                "rebroadcast",
+                "rebroadcaster crashed",
+                &[("stream_id", self.state.borrow().cfg.stream_id.to_string())],
+            );
+        }
+    }
+
+    /// Brings a crashed rebroadcaster back: a control packet goes out
+    /// immediately (late joiners and stalled speakers resynchronize
+    /// from it) and subsequent audio flows again. The blocks lost while
+    /// down stay lost — exactly like wire loss, §3.2's recovery paths
+    /// handle them.
+    pub fn restart(&self, sim: &mut Sim) {
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            if !st.crashed {
+                return;
+            }
+            st.crashed = false;
+            st.journal.clone()
+        };
+        if let Some(j) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "rebroadcast",
+                "rebroadcaster restarted",
+                &[("stream_id", self.state.borrow().cfg.stream_id.to_string())],
+            );
+        }
+        self.send_control(sim);
+    }
+
+    /// True while the process is down.
+    pub fn is_crashed(&self) -> bool {
+        self.state.borrow().crashed
     }
 
     /// Counter snapshot.
@@ -671,5 +754,85 @@ mod tests {
                 assert!(c.flags & FLAG_AUTHENTICATED != 0);
             }
         }
+    }
+
+    #[test]
+    fn crash_and_restart_gap_the_stream_but_keep_deadlines_continuous() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let log: Shared<Vec<(SimTime, Packet)>> = shared(Vec::new());
+        let l = log.clone();
+        lan.set_handler(listener, move |sim: &mut Sim, dg: Datagram| {
+            if let Ok(p) = es_proto::decode(&dg.payload) {
+                l.borrow_mut().push((sim.now(), p));
+            }
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut rcfg = RebroadcasterConfig::new(7, group);
+        rcfg.policy = CompressionPolicy::Never;
+        let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer, master, rcfg);
+        let _app = AudioApp::start(
+            &mut sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(4),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        let rb2 = rb.clone();
+        sim.schedule_at(SimTime::from_secs(1), move |sim| {
+            rb2.crash(sim);
+            assert!(rb2.is_crashed());
+            rb2.crash(sim); // double crash is a no-op
+        });
+        let rb3 = rb.clone();
+        sim.schedule_at(SimTime::from_secs(2), move |sim| {
+            rb3.restart(sim);
+            assert!(!rb3.is_crashed());
+        });
+        sim.run_until(SimTime::from_secs(5));
+
+        let stats = rb.stats();
+        assert_eq!(stats.crashes, 1);
+        assert!(stats.crash_dropped_blocks > 0, "no blocks dropped");
+
+        let log = log.borrow();
+        // No packets of either kind in the dark window (leave a little
+        // slack for in-flight sends right at the crash instant).
+        let dark = log
+            .iter()
+            .filter(|(t, _)| *t > SimTime::from_millis(1_100) && *t < SimTime::from_secs(2))
+            .count();
+        assert_eq!(dark, 0, "{dark} packets while crashed");
+        // A control packet arrives almost immediately after restart.
+        let first_ctl_after = log
+            .iter()
+            .find_map(|(t, p)| match p {
+                Packet::Control(_) if *t >= SimTime::from_secs(2) => Some(*t),
+                _ => None,
+            })
+            .expect("no control packet after restart");
+        assert!(first_ctl_after < SimTime::from_millis(2_050));
+        // The outage is a sequence gap, and deadlines stay monotone
+        // right across it.
+        let data: Vec<&DataPacket> = log
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Data(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert!(data.windows(2).any(|w| w[1].seq > w[0].seq + 1), "no gap");
+        assert!(
+            data.windows(2).all(|w| w[1].play_at_us >= w[0].play_at_us),
+            "deadlines regressed across the restart"
+        );
     }
 }

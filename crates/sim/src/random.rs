@@ -50,6 +50,50 @@ pub fn chance<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
     }
 }
 
+/// A Gilbert–Elliott two-state loss chain: a `Good` state with low loss
+/// and a `Bad` (burst) state with high loss, with per-step transition
+/// probabilities between them. Mean burst length is `1 / p_bad_to_good`
+/// steps; stationary bad-state occupancy is
+/// `p_good_to_bad / (p_good_to_bad + p_bad_to_good)`.
+///
+/// The chain holds only its current state; the caller supplies the
+/// parameters and the RNG on every step so one seeded engine RNG stays
+/// the single source of randomness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GilbertElliott {
+    /// Whether the chain currently sits in the bursty `Bad` state.
+    pub bad: bool,
+}
+
+impl GilbertElliott {
+    /// A chain starting in the `Good` state.
+    pub fn new() -> Self {
+        GilbertElliott { bad: false }
+    }
+
+    /// Advances the chain one step and samples one loss decision:
+    /// first the state transition, then a loss draw at the new state's
+    /// rate. Returns `true` if this step's packet is lost.
+    pub fn step<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> bool {
+        let flip = if self.bad {
+            chance(rng, p_bad_to_good)
+        } else {
+            chance(rng, p_good_to_bad)
+        };
+        if flip {
+            self.bad = !self.bad;
+        }
+        chance(rng, if self.bad { loss_bad } else { loss_good })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +158,52 @@ mod tests {
         let hits = (0..50_000).filter(|_| chance(&mut r, 0.25)).count();
         let freq = hits as f64 / 50_000.0;
         assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+    }
+
+    #[test]
+    fn gilbert_elliott_occupancy_and_bursts() {
+        let mut r = rng();
+        let mut ge = GilbertElliott::new();
+        // 10% of steps in the bad state on average; bursts of mean
+        // length 10.
+        let (g2b, b2g) = (1.0 / 90.0, 0.1);
+        let n = 200_000;
+        let mut bad_steps = 0u64;
+        let mut losses = 0u64;
+        let mut run = 0u64;
+        let mut runs = Vec::new();
+        for _ in 0..n {
+            let lost = ge.step(&mut r, g2b, b2g, 0.0, 1.0);
+            if ge.bad {
+                bad_steps += 1;
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+            losses += lost as u64;
+        }
+        let occupancy = bad_steps as f64 / n as f64;
+        assert!((occupancy - 0.1).abs() < 0.02, "occupancy {occupancy}");
+        let mean_burst = runs.iter().sum::<u64>() as f64 / runs.len() as f64;
+        assert!((mean_burst - 10.0).abs() < 1.5, "mean burst {mean_burst}");
+        // With loss_good = 0 and loss_bad = 1, losses == bad steps.
+        assert_eq!(losses, bad_steps);
+    }
+
+    #[test]
+    fn gilbert_elliott_degenerate_rates() {
+        let mut r = rng();
+        // Never enters the bad state: loss follows loss_good exactly.
+        let mut ge = GilbertElliott::new();
+        for _ in 0..1_000 {
+            assert!(!ge.step(&mut r, 0.0, 1.0, 0.0, 1.0));
+            assert!(!ge.bad);
+        }
+        // Starts bad and never leaves: every packet lost.
+        let mut stuck = GilbertElliott { bad: true };
+        for _ in 0..1_000 {
+            assert!(stuck.step(&mut r, 0.0, 0.0, 0.0, 1.0));
+        }
     }
 }

@@ -124,6 +124,10 @@ pub struct SpeakerStats {
     pub concealed_packets: u64,
     /// Packets reconstructed from XOR parity (FEC extension).
     pub fec_recovered: u64,
+    /// Data packets suppressed because their sequence number already
+    /// played — LAN duplicates, or an FEC copy of a packet that also
+    /// arrived on its own.
+    pub dropped_duplicate: u64,
 }
 
 impl Telemetry for SpeakerStats {
@@ -141,7 +145,8 @@ impl Telemetry for SpeakerStats {
             .counter("samples_played", self.samples_played)
             .counter("dropped_busy", self.dropped_busy)
             .counter("concealed_packets", self.concealed_packets)
-            .counter("fec_recovered", self.fec_recovered);
+            .counter("fec_recovered", self.fec_recovered)
+            .counter("dropped_duplicate", self.dropped_duplicate);
     }
 }
 
@@ -164,6 +169,9 @@ struct SpkState {
     serial_queue: std::collections::VecDeque<Pending>,
     /// Highest data sequence number seen (gap detection for PLC).
     last_seq: Option<u32>,
+    /// Recently accepted sequence numbers (bounded window) — the
+    /// duplicate-suppression filter.
+    seen_seqs: std::collections::BTreeSet<u32>,
     /// FEC recovery state, created lazily on the first parity packet.
     fec: Option<es_proto::FecRecoverer>,
     /// Reception-quality monitor (the §5.3 management numbers).
@@ -219,6 +227,7 @@ impl EthernetSpeaker {
             serial_busy: false,
             serial_queue: std::collections::VecDeque::new(),
             last_seq: None,
+            seen_seqs: std::collections::BTreeSet::new(),
             fec: None,
             monitor: es_proto::StreamMonitor::new(),
             last_block: Vec::new(),
@@ -269,6 +278,8 @@ impl EthernetSpeaker {
             st.phase = Phase::WaitingForControl;
             st.clock = ClockSync::new();
             st.dev_configured = false;
+            st.last_seq = None;
+            st.seen_seqs.clear();
             if let Some(j) = st.journal.clone() {
                 j.emit(
                     Stamp::virtual_ns(sim.now().as_nanos()),
@@ -494,6 +505,22 @@ impl EthernetSpeaker {
             };
             deadline
         };
+        // Duplicate suppression: a sequence number that already went to
+        // playback must never play twice, whether the copy came from
+        // the LAN's duplication impairment or from FEC recovering a
+        // packet that also arrived on its own.
+        {
+            let mut st = self.state.borrow_mut();
+            if !st.seen_seqs.insert(d.seq) {
+                st.stats.dropped_duplicate += 1;
+                return;
+            }
+            // Bounded window: old sequence numbers fall off the front.
+            while st.seen_seqs.len() > 512 {
+                let oldest = *st.seen_seqs.iter().next().expect("non-empty");
+                st.seen_seqs.remove(&oldest);
+            }
+        }
         // PLC: a jump in the sequence numbers means packets were lost
         // on the wire. Conceal up to three of them by replaying the
         // previous block, faded, at the deadlines the missing packets
@@ -1022,5 +1049,57 @@ mod tests {
         let played = spk.tap().borrow().samples();
         let peak = played.iter().map(|&s| s.abs()).max().unwrap_or(0);
         assert_eq!(peak, 500, "1000 * 0.5");
+    }
+
+    #[test]
+    fn duplicate_data_packets_play_once() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        // Each packet sent twice — the LAN duplication impairment seen
+        // from the receiver side.
+        for seq in 0..5u32 {
+            let play_at = 300_000 + seq as u64 * 50_000;
+            lan.multicast(&mut sim, producer, g, data_packet(seq, play_at, 2_205));
+            lan.multicast(&mut sim, producer, g, data_packet(seq, play_at, 2_205));
+        }
+        sim.run_for(SimDuration::from_secs(1));
+        let st = spk.stats();
+        assert_eq!(st.dropped_duplicate, 5, "{st:?}");
+        assert_eq!(st.data_packets, 5, "each timestamp plays exactly once");
+        assert_eq!(st.samples_played, 5 * 4_410, "no doubled audio");
+        // The monitor still sees the duplicates (management numbers).
+        assert_eq!(spk.quality().duplicates, 5);
+    }
+
+    #[test]
+    fn tune_resets_duplicate_window() {
+        let (mut sim, lan, producer) = lan();
+        let g1 = McastGroup(1);
+        let g2 = McastGroup(2);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g1));
+        lan.multicast(&mut sim, producer, g1, control_packet(0, 0));
+        sim.run();
+        lan.multicast(&mut sim, producer, g1, data_packet(0, 300_000, 100));
+        sim.run_for(SimDuration::from_millis(400));
+        assert_eq!(spk.stats().data_packets, 1);
+        // New channel reuses sequence number 0: it must not be filtered
+        // as a duplicate of the old stream's packet 0.
+        spk.tune(&mut sim, g2);
+        let now_us = sim.now().as_micros();
+        lan.multicast(&mut sim, producer, g2, control_packet(0, now_us));
+        sim.run();
+        lan.multicast(
+            &mut sim,
+            producer,
+            g2,
+            data_packet(0, now_us + 300_000, 100),
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let st = spk.stats();
+        assert_eq!(st.dropped_duplicate, 0, "{st:?}");
+        assert_eq!(st.data_packets, 2);
     }
 }

@@ -367,6 +367,14 @@ impl MetricsSnapshot {
         }
     }
 
+    /// How much a counter grew since an earlier snapshot — `None` if it
+    /// is absent from either side. The chaos suite's "`frames_dropped`
+    /// stops growing after the network heals" invariants are this with
+    /// an expected delta of zero.
+    pub fn counter_delta(&self, earlier: &MetricsSnapshot, path: &str) -> Option<u64> {
+        Some(self.counter(path)?.saturating_sub(earlier.counter(path)?))
+    }
+
     /// Sums a counter across every instance of a component — the
     /// fleet-wide total an NMS console would chart.
     pub fn sum_counters(&self, component: &str, name: &str) -> u64 {
@@ -564,6 +572,32 @@ mod tests {
         assert_eq!(snap.counter("net/a/frames_delivered"), Some(1));
         assert_eq!(snap.counter("net/b/frames_delivered"), Some(2));
         assert_eq!(snap.sum_counters("net", "frames_delivered"), 3);
+    }
+
+    #[test]
+    fn counter_delta_between_snapshots() {
+        let snap = |v: u64| {
+            let mut r = Registry::new();
+            r.set_instance("lan0");
+            r.component("net").counter("frames_dropped", v);
+            r.snapshot()
+        };
+        let (early, late) = (snap(10), snap(17));
+        assert_eq!(
+            late.counter_delta(&early, "net/lan0/frames_dropped"),
+            Some(7)
+        );
+        assert_eq!(
+            late.counter_delta(&late, "net/lan0/frames_dropped"),
+            Some(0)
+        );
+        // Saturates rather than panicking on a counter that went down
+        // (a restarted component).
+        assert_eq!(
+            early.counter_delta(&late, "net/lan0/frames_dropped"),
+            Some(0)
+        );
+        assert_eq!(late.counter_delta(&early, "net/lan0/nope"), None);
     }
 
     #[test]

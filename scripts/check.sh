@@ -19,4 +19,17 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace -q
 
+# Chaos determinism gate: the conformance suite already runs every
+# scenario twice in-process; here the whole suite runs twice in
+# separate processes with a pinned seed, and the telemetry fingerprints
+# each run writes must be byte-identical (see EXPERIMENTS.md).
+echo "== chaos determinism (ES_CHAOS_SEED pinned)"
+rm -rf target/chaos-a target/chaos-b
+ES_CHAOS_SEED=7 ES_CHAOS_FP_DIR=target/chaos-a cargo test -q --test chaos
+ES_CHAOS_SEED=7 ES_CHAOS_FP_DIR=target/chaos-b cargo test -q --test chaos
+diff -r target/chaos-a target/chaos-b || {
+    echo "chaos suite is nondeterministic: fingerprints differ between identical runs" >&2
+    exit 1
+}
+
 echo "ok"

@@ -137,6 +137,83 @@ fn config_change_propagates_in_band() {
     assert!(spk.stats().decode_errors == 0);
 }
 
+/// Cross-component telemetry consistency: on a clean LAN the counters
+/// published by the producer, the network, and every speaker must
+/// describe the same stream — what one layer says it sent, the next
+/// layer must say it received.
+#[test]
+fn telemetry_counters_agree_across_components() {
+    let group = McastGroup(1);
+    let ch = ChannelSpec::new(1, group, "audit")
+        .source(Source::Music)
+        .duration(SimDuration::from_secs(5))
+        .policy(CompressionPolicy::Never);
+    let mut sys = SystemBuilder::new(21)
+        .channel(ch)
+        .speaker(SpeakerSpec::new("a", group))
+        .speaker(SpeakerSpec::new("b", group))
+        .build();
+    // Probe between control ticks (every 500 ms) so no packet is
+    // mid-flight when the counters are read.
+    sys.run_until(SimTime::from_millis(6_200));
+    let m = sys.metrics();
+
+    // A clean LAN reports no impairments of any kind.
+    for name in [
+        "frames_dropped",
+        "frames_dropped_partial",
+        "frames_partitioned",
+        "frames_reordered",
+        "frames_duplicated",
+    ] {
+        assert_eq!(
+            m.counter(&format!("net/lan0/{name}")),
+            Some(0),
+            "{name} on a clean LAN"
+        );
+    }
+
+    // Every frame the LAN delivered landed in some speaker's datagram
+    // counter — the speakers are the only receivers on this group.
+    let delivered = m.counter("net/lan0/frames_delivered").unwrap();
+    let heard = m.sum_counters("speaker", "datagrams");
+    assert_eq!(delivered, heard, "LAN delivery vs speaker receive counts");
+
+    // Per speaker, the producer's send counters reappear exactly:
+    // every control and every data packet it multicast arrived and
+    // played, and none of the degradation counters moved.
+    let sent_control = m.counter("rebroadcast/ch0/control_packets").unwrap();
+    let sent_data = m.counter("rebroadcast/ch0/data_packets").unwrap();
+    assert!(sent_data > 0, "stream produced no data packets");
+    for spk in ["a", "b"] {
+        let c = |name: &str| m.counter(&format!("speaker/{spk}/{name}")).unwrap();
+        assert_eq!(
+            c("control_packets"),
+            sent_control,
+            "speaker {spk} control path"
+        );
+        assert_eq!(c("data_packets"), sent_data, "speaker {spk} data path");
+        for name in [
+            "bad_packets",
+            "dropped_waiting_control",
+            "dropped_duplicate",
+            "deadline_misses",
+            "dropped_busy",
+            "decode_errors",
+        ] {
+            assert_eq!(c(name), 0, "speaker {spk} {name} on a clean run");
+        }
+    }
+
+    // Snapshots are pure reads: walking the metrics twice at the same
+    // virtual instant yields byte-identical JSON.
+    assert_eq!(
+        m.to_json_lines(),
+        sys.metrics().to_json_lines(),
+        "metrics walk must not perturb the system"
+    );
+}
+
 /// A legacy 10 Mbps LAN carries several compressed channels where raw
 /// PCM would not fit — §2.2's capacity argument, measured.
 #[test]

@@ -163,6 +163,126 @@ proptest! {
         prop_assert!(es_proto::decode(&cat).is_err());
     }
 
+    /// A LAN with zero jitter and zero loss is FIFO: for any packet
+    /// count and spacing, every receiver sees the sender's exact order
+    /// at monotonically non-decreasing times.
+    #[test]
+    fn clean_lan_is_fifo(
+        n in 1u64..120,
+        spacing_us in 1u64..2_000,
+        payload_len in 1usize..800,
+    ) {
+        use bytes::Bytes;
+        use es_net::{Lan, LanConfig, McastGroup};
+        use es_sim::Sim;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut sim = Sim::new(7);
+        let lan = Lan::new(LanConfig::default());
+        let tx = lan.attach("tx");
+        let rx = lan.attach("rx");
+        let g = McastGroup(0);
+        lan.join(rx, g);
+        let log: Rc<RefCell<Vec<(es_sim::SimTime, u64)>>> =
+            Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        lan.set_handler(rx, move |sim, dg| {
+            let mut tag = [0u8; 8];
+            tag.copy_from_slice(&dg.payload[..8]);
+            l.borrow_mut().push((sim.now(), u64::from_le_bytes(tag)));
+        });
+        for i in 0..n {
+            let lan2 = lan.clone();
+            sim.schedule_at(es_sim::SimTime::from_micros(i * spacing_us), move |sim| {
+                let mut payload = i.to_le_bytes().to_vec();
+                payload.resize(8 + payload_len, 0xAB);
+                lan2.multicast(sim, tx, g, Bytes::from(payload));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len() as u64, n, "every packet delivered");
+        let mut last_at = es_sim::SimTime::ZERO;
+        for (i, (at, tag)) in log.iter().enumerate() {
+            prop_assert_eq!(*tag, i as u64, "delivery order broke FIFO");
+            prop_assert!(*at >= last_at, "delivery times went backwards");
+            last_at = *at;
+        }
+    }
+
+    /// Under arbitrary duplication the speaker plays each packet
+    /// timestamp exactly once: duplicates are dropped, audio is never
+    /// doubled, and the quality monitor still records every extra copy.
+    #[test]
+    fn duplicated_timestamps_play_once(
+        copies in proptest::collection::vec(1usize..4, 1..30),
+    ) {
+        use bytes::Bytes;
+        use es_audio::{AudioConfig, Encoding};
+        use es_net::{Lan, LanConfig, McastGroup};
+        use es_codec::CodecId;
+        use es_proto::{encode_control, encode_data, ControlPacket, DataPacket};
+        use es_sim::Sim;
+        use es_speaker::{EthernetSpeaker, SpeakerConfig};
+
+        let mut sim = Sim::new(5);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(
+            &mut sim,
+            producer,
+            g,
+            encode_control(&ControlPacket {
+                stream_id: 1,
+                seq: 0,
+                producer_time_us: 0,
+                config: AudioConfig::CD,
+                codec: CodecId::Pcm.to_wire(),
+                quality: 0,
+                control_interval_ms: 500,
+                flags: 0,
+            }),
+        );
+        sim.run();
+
+        // Each timestamp goes out 1–3 times back to back: the LAN
+        // duplication impairment as seen from the receiver.
+        const FRAMES: usize = 2_205; // 50 ms of CD audio
+        for (seq, &n_copies) in copies.iter().enumerate() {
+            let play_at_us = 300_000 + seq as u64 * 50_000;
+            let samples = vec![1_000i16; FRAMES * 2];
+            let pkt = encode_data(&DataPacket {
+                stream_id: 1,
+                seq: seq as u32,
+                play_at_us,
+                codec: CodecId::Pcm.to_wire(),
+                payload: Bytes::from(es_audio::convert::encode_samples(
+                    &samples,
+                    Encoding::Slinear16Le,
+                )),
+            });
+            for _ in 0..n_copies {
+                lan.multicast(&mut sim, producer, g, pkt.clone());
+            }
+        }
+        sim.run_for(SimDuration::from_secs(3));
+
+        let distinct = copies.len() as u64;
+        let extras: u64 = copies.iter().map(|&c| c as u64 - 1).sum();
+        let st = spk.stats();
+        prop_assert_eq!(st.data_packets, distinct, "each timestamp plays exactly once");
+        prop_assert_eq!(st.dropped_duplicate, extras, "every extra copy suppressed");
+        prop_assert_eq!(
+            st.samples_played,
+            distinct * (FRAMES as u64) * 2,
+            "no doubled audio"
+        );
+        prop_assert_eq!(spk.quality().duplicates, extras, "monitor still sees the storm");
+    }
+
     /// The ramdisk overlay is idempotent and last-writer-wins.
     #[test]
     fn overlay_idempotent(

@@ -13,16 +13,21 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable byte buffer.
+///
+/// Backed by `Arc<Vec<u8>>` so both `From<Vec<u8>>` and
+/// [`BytesMut::freeze`] take ownership of the allocation instead of
+/// copying it: a payload encoded once is shared by reference across
+/// every receiver of a multicast fan-out.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
         }
     }
 
@@ -30,14 +35,14 @@ impl Bytes {
     /// nothing here depends on that optimization).
     pub fn from_static(data: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -78,7 +83,8 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        // Zero-copy: the Vec's allocation becomes the shared buffer.
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -149,7 +155,31 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Spare capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Clears the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Takes the written bytes out, leaving this buffer empty (and,
+    /// unlike the real crate, without its allocation — callers that
+    /// recycle the buffer rebuild capacity on the next `reserve`).
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            data: std::mem::take(&mut self.data),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -316,5 +346,34 @@ mod tests {
     fn get_past_end_panics() {
         let mut r: &[u8] = &[1];
         let _ = r.get_u16_le();
+    }
+
+    #[test]
+    fn freeze_and_clone_share_one_allocation() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"payload");
+        let backing = b.as_ref().as_ptr();
+        let frozen = b.freeze();
+        assert_eq!(frozen.as_ptr(), backing, "freeze must not copy");
+        let clones: Vec<Bytes> = (0..8).map(|_| frozen.clone()).collect();
+        for c in &clones {
+            assert_eq!(c.as_ptr(), backing, "clones must share the buffer");
+        }
+    }
+
+    #[test]
+    fn split_hands_off_without_copying() {
+        let mut b = BytesMut::new();
+        b.reserve(32);
+        assert!(b.capacity() >= 32);
+        b.put_slice(b"abc");
+        let backing = b.as_ref().as_ptr();
+        let sealed = b.split().freeze();
+        assert_eq!(sealed.as_ptr(), backing);
+        assert_eq!(&sealed[..], b"abc");
+        assert!(b.is_empty());
+        b.clear();
+        b.put_slice(b"next");
+        assert_eq!(&b[..], b"next");
     }
 }

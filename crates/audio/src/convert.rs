@@ -32,8 +32,9 @@ pub fn linear_to_ulaw(sample: i16) -> u8 {
     !(sign | ((exponent as u8) << 4) | mantissa)
 }
 
-/// Expands one G.711 µ-law byte to a linear sample.
-pub fn ulaw_to_linear(ulaw: u8) -> i16 {
+/// [`ulaw_to_linear`] computed from the G.711 reference algorithm;
+/// kept `const` so the decode table is built at compile time.
+const fn ulaw_expand(ulaw: u8) -> i16 {
     let u = !ulaw;
     let sign = u & 0x80;
     let exponent = (u >> 4) & 0x07;
@@ -44,6 +45,24 @@ pub fn ulaw_to_linear(ulaw: u8) -> i16 {
     } else {
         magnitude as i16
     }
+}
+
+/// All 256 µ-law expansions, precomputed: decode is one table load
+/// instead of shift/add arithmetic per byte.
+static ULAW_TABLE: [i16; 256] = {
+    let mut t = [0i16; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = ulaw_expand(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Expands one G.711 µ-law byte to a linear sample.
+#[inline]
+pub fn ulaw_to_linear(ulaw: u8) -> i16 {
+    ULAW_TABLE[ulaw as usize]
 }
 
 /// Compands one linear sample to G.711 A-law.
@@ -68,8 +87,9 @@ pub fn linear_to_alaw(sample: i16) -> u8 {
     (ix as u8) ^ 0x55
 }
 
-/// Expands one G.711 A-law byte to a linear sample.
-pub fn alaw_to_linear(alaw: u8) -> i16 {
+/// [`alaw_to_linear`] computed from the G.711 reference algorithm;
+/// kept `const` so the decode table is built at compile time.
+const fn alaw_expand(alaw: u8) -> i16 {
     let ix = alaw ^ 0x55;
     let positive = ix & 0x80 != 0;
     let ix = (ix & 0x7F) as i32;
@@ -89,6 +109,34 @@ pub fn alaw_to_linear(alaw: u8) -> i16 {
     }
 }
 
+/// All 256 A-law expansions, precomputed like [`ULAW_TABLE`].
+static ALAW_TABLE: [i16; 256] = {
+    let mut t = [0i16; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = alaw_expand(i as u8);
+        i += 1;
+    }
+    t
+};
+
+/// Expands one G.711 A-law byte to a linear sample.
+#[inline]
+pub fn alaw_to_linear(alaw: u8) -> i16 {
+    ALAW_TABLE[alaw as usize]
+}
+
+/// Fills a preallocated output with one 2-byte pattern per sample —
+/// a single resize plus straight-line stores per frame, instead of a
+/// length-checked `extend_from_slice` call per sample.
+#[inline]
+fn pack_16(samples: &[i16], out: &mut Vec<u8>, pack: impl Fn(i16) -> [u8; 2]) {
+    out.resize(samples.len() * 2, 0);
+    for (dst, &s) in out.chunks_exact_mut(2).zip(samples) {
+        dst.copy_from_slice(&pack(s));
+    }
+}
+
 /// Packs interleaved linear samples into the byte layout of `enc`.
 pub fn encode_samples(samples: &[i16], enc: Encoding) -> Vec<u8> {
     let mut out = Vec::with_capacity(samples.len() * enc.bytes_per_sample() as usize);
@@ -97,25 +145,13 @@ pub fn encode_samples(samples: &[i16], enc: Encoding) -> Vec<u8> {
         Encoding::ALaw => out.extend(samples.iter().map(|&s| linear_to_alaw(s))),
         Encoding::Slinear8 => out.extend(samples.iter().map(|&s| (s >> 8) as u8)),
         Encoding::Ulinear8 => out.extend(samples.iter().map(|&s| (((s >> 8) as i32) + 128) as u8)),
-        Encoding::Slinear16Le => {
-            for &s in samples {
-                out.extend_from_slice(&s.to_le_bytes());
-            }
-        }
-        Encoding::Slinear16Be => {
-            for &s in samples {
-                out.extend_from_slice(&s.to_be_bytes());
-            }
-        }
+        Encoding::Slinear16Le => pack_16(samples, &mut out, |s| s.to_le_bytes()),
+        Encoding::Slinear16Be => pack_16(samples, &mut out, |s| s.to_be_bytes()),
         Encoding::Ulinear16Le => {
-            for &s in samples {
-                out.extend_from_slice(&((s as u16) ^ 0x8000).to_le_bytes());
-            }
+            pack_16(samples, &mut out, |s| ((s as u16) ^ 0x8000).to_le_bytes())
         }
         Encoding::Ulinear16Be => {
-            for &s in samples {
-                out.extend_from_slice(&((s as u16) ^ 0x8000).to_be_bytes());
-            }
+            pack_16(samples, &mut out, |s| ((s as u16) ^ 0x8000).to_be_bytes())
         }
     }
     out
@@ -249,6 +285,14 @@ mod tests {
     fn torn_frame_is_ignored() {
         let bytes = vec![0x01, 0x02, 0x03];
         assert_eq!(decode_samples(&bytes, Encoding::Slinear16Le).len(), 1);
+    }
+
+    #[test]
+    fn decode_tables_match_reference_algorithm() {
+        for code in 0..=255u8 {
+            assert_eq!(ulaw_to_linear(code), ulaw_expand(code), "ulaw {code}");
+            assert_eq!(alaw_to_linear(code), alaw_expand(code), "alaw {code}");
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Hot-path throughput benchmark with a tracked JSON baseline.
+//!
+//! Measures the four groups in `es_bench::perf` (MDCT, companding,
+//! packet codec, end-to-end pipeline), prints a table, and writes the
+//! report to `BENCH_PR3.json` at the repo root. The process exits
+//! non-zero if the report fails validation (any metric zero/NaN) or
+//! the written file does not parse back.
+//!
+//! Run: `cargo bench -p es-bench --bench perf_hotpath`
+//! (`ES_BENCH_QUICK=1` shrinks budgets for CI;
+//! `ES_BENCH_BASELINE=<file>` warns on >20% regressions against a
+//! saved report.)
+
+use es_bench::perf;
+
+fn main() {
+    let report = perf::run();
+    println!("== perf_hotpath: hot-path throughput ==");
+    if report.quick {
+        println!("(quick mode: shortened budgets, numbers are smoke-test grade)");
+    }
+    let mut rows = Vec::new();
+    for (group, metrics) in &report.groups {
+        for (name, value) in metrics {
+            rows.push(vec![group.clone(), name.clone(), format!("{value:.3}")]);
+        }
+    }
+    println!(
+        "{}",
+        es_bench::report::table(&["group", "metric", "value"], &rows)
+    );
+
+    if let Err(bad) = report.validate() {
+        eprintln!("perf_hotpath: invalid metric: {bad}");
+        std::process::exit(1);
+    }
+
+    let doc = report.to_json();
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    if let Err(e) = std::fs::write(out_path, format!("{doc}\n")) {
+        eprintln!("perf_hotpath: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let written = std::fs::read_to_string(out_path).unwrap_or_default();
+    match perf::flatten_metrics(&written) {
+        Ok(flat) if !flat.is_empty() => {
+            println!("wrote {} metrics to {out_path}", flat.len());
+        }
+        Ok(_) => {
+            eprintln!("perf_hotpath: {out_path} contains no metrics");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf_hotpath: {out_path} is malformed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Ok(path) = std::env::var("ES_BENCH_BASELINE") {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => match perf::baseline_warnings(&doc, &baseline) {
+                Ok(warnings) if warnings.is_empty() => {
+                    println!("baseline {path}: no regressions > 20%");
+                }
+                Ok(warnings) => {
+                    for w in &warnings {
+                        eprintln!("perf_hotpath: {w}");
+                    }
+                }
+                Err(e) => eprintln!("perf_hotpath: baseline {path} unusable: {e}"),
+            },
+            Err(e) => eprintln!("perf_hotpath: cannot read baseline {path}: {e}"),
+        }
+    }
+}

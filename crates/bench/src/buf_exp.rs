@@ -53,9 +53,12 @@ pub fn run(block_ms: u64, seconds: u64, seed: u64) -> BufRun {
         .speaker(
             // The paper-era ES: plays as soon as decoded, its only
             // buffer the small device ring, decode billed to the Geode.
+            // Decode billed at the paper's direct transform cost; the
+            // calibration constants assume it.
             SpeakerSpec::new("eon4000", group)
                 .with_device_geometry(SPEAKER_RING, 50)
                 .with_asap_playback()
+                .with_cost_model(es_codec::CostModel::Direct)
                 .with_cpu(cpu.clone()),
         )
         .build();

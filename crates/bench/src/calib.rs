@@ -19,6 +19,13 @@
 //! unit** (`work_to_cycles` in `es-rebroadcast`, `decode_work_to_cycles`
 //! in `es-speaker`).
 //!
+//! These constants are calibrated against `es_codec::CostModel::Direct`
+//! accounting (the paper-era O(N²) transform). The codec's execution
+//! path is always the O(N log N) FFT; the Figure 4 and §3.4 experiments
+//! explicitly select `CostModel::Direct` so the billed work stays on
+//! this calibration, while everything else defaults to
+//! `CostModel::Fft`, which bills ≈ 13× less for OVL at N = 512.
+//!
 //! # Figure 5 — context-switch rates
 //!
 //! `vmstat` counts one switch per change of the running context,

@@ -9,6 +9,7 @@
 //! every encode to one shared Geode-class [`SimCpu`], and reports the
 //! per-second utilization series.
 
+use es_codec::CostModel;
 use es_core::{ChannelSpec, SystemBuilder};
 use es_net::McastGroup;
 use es_rebroadcast::CompressionPolicy;
@@ -20,6 +21,8 @@ use crate::calib;
 pub struct Fig4Run {
     /// Stream count.
     pub streams: usize,
+    /// Transform cost accounting the run billed.
+    pub cost_model: CostModel,
     /// Userland CPU % per second.
     pub series: TimeSeries,
     /// Mean over the measurement window.
@@ -29,8 +32,21 @@ pub struct Fig4Run {
 }
 
 /// Runs the Figure 4 workload with `streams` CD channels for
-/// `seconds`.
+/// `seconds`, billing the paper's direct O(N²) transform cost — the
+/// accounting the `es-bench::calib` constants are calibrated against.
 pub fn run(streams: usize, seconds: u64, seed: u64) -> Fig4Run {
+    run_with_cost_model(streams, seconds, seed, CostModel::Direct)
+}
+
+/// [`run`] with an explicit cost accounting: [`CostModel::Direct`]
+/// reproduces the paper's load figures, [`CostModel::Fft`] shows what
+/// the same workload costs on the O(N log N) fast path.
+pub fn run_with_cost_model(
+    streams: usize,
+    seconds: u64,
+    seed: u64,
+    cost_model: CostModel,
+) -> Fig4Run {
     let cpu = shared(SimCpu::new(calib::GEODE_HZ, SimDuration::from_secs(1)));
     let mut builder = SystemBuilder::new(seed);
     for i in 0..streams {
@@ -45,6 +61,7 @@ pub fn run(streams: usize, seconds: u64, seed: u64) -> Fig4Run {
         })
         .duration(SimDuration::from_secs(seconds + 4))
         .cpu(cpu.clone())
+        .cost_model(cost_model)
         // Offset the streams slightly so their encode bursts interleave
         // the way independent players would.
         .start_at(SimDuration::from_millis(37 * i as u64));
@@ -56,7 +73,10 @@ pub fn run(streams: usize, seconds: u64, seed: u64) -> Fig4Run {
     // Snapshot the CPU accounting (producer pipelines keep clones of
     // the handle alive inside the simulation).
     let cpu = cpu.borrow().clone();
-    let label = format!("{streams} streams");
+    let label = match cost_model {
+        CostModel::Direct => format!("{streams} streams (direct)"),
+        CostModel::Fft => format!("{streams} streams (fft)"),
+    };
     let series = cpu
         .utilization_series(label, until)
         .window(SimTime::ZERO + calib::WARMUP, until);
@@ -64,6 +84,7 @@ pub fn run(streams: usize, seconds: u64, seed: u64) -> Fig4Run {
     let max = series.max().unwrap_or(0.0);
     Fig4Run {
         streams,
+        cost_model,
         series,
         mean,
         max,
@@ -100,5 +121,19 @@ mod tests {
             "one stream should sit near 11%: {}",
             one.mean
         );
+    }
+
+    #[test]
+    fn fft_cost_model_is_far_cheaper_than_direct() {
+        let direct = run(4, 6, 3);
+        let fft = run_with_cost_model(4, 6, 3, CostModel::Fft);
+        assert_eq!(direct.cost_model, CostModel::Direct);
+        assert!(
+            fft.mean < direct.mean / 5.0,
+            "fft billing {} vs direct {}",
+            fft.mean,
+            direct.mean
+        );
+        assert!(fft.mean > 0.0);
     }
 }

@@ -14,6 +14,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod join_exp;
 pub mod loss_exp;
+pub mod perf;
 pub mod rate_exp;
 pub mod report;
 pub mod sync_exp;

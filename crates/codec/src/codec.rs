@@ -133,10 +133,16 @@ impl Default for Codecs {
 }
 
 impl Codecs {
-    /// Creates the engine.
+    /// Creates the engine with the default (fast-path) cost model.
     pub fn new() -> Self {
+        Codecs::with_cost_model(es_sim::CostModel::default())
+    }
+
+    /// Creates the engine billing transform work under `cost_model`
+    /// (see [`es_sim::CostModel`]); execution is identical either way.
+    pub fn with_cost_model(cost_model: es_sim::CostModel) -> Self {
         Codecs {
-            ovl: OvlCodec::new(),
+            ovl: OvlCodec::with_cost_model(cost_model),
         }
     }
 
@@ -301,12 +307,22 @@ mod tests {
 
     #[test]
     fn ovl_costs_most_cpu() {
+        // Under the default FFT accounting OVL is ~12x ADPCM; under the
+        // paper-fidelity direct model it stays >100x.
         let codecs = Codecs::new();
         let s = stereo(4_096);
         let work = |c| codecs.encode(c, &s, 2, 10).work_units;
-        assert!(work(CodecId::Ovl) > work(CodecId::Adpcm) * 100);
+        assert!(work(CodecId::Ovl) > work(CodecId::Adpcm) * 10);
         assert!(work(CodecId::Adpcm) >= work(CodecId::ULaw));
         assert!(work(CodecId::ULaw) >= work(CodecId::Pcm));
+
+        let paper = Codecs::with_cost_model(es_sim::CostModel::Direct);
+        let direct_work = paper.encode(CodecId::Ovl, &s, 2, 10).work_units;
+        assert!(direct_work > work(CodecId::Adpcm) * 100);
+        assert!(
+            direct_work > work(CodecId::Ovl) * 5,
+            "direct billing must dominate"
+        );
     }
 
     #[test]

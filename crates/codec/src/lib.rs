@@ -19,8 +19,11 @@
 pub mod adpcm;
 pub mod bitstream;
 pub mod codec;
+pub mod fft;
 pub mod mdct;
 pub mod ovl;
+pub mod reference;
 
 pub use codec::{CodecError, CodecId, Codecs, Encoded};
+pub use es_sim::CostModel;
 pub use ovl::{OvlCodec, MAX_QUALITY};

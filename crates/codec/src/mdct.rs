@@ -6,47 +6,119 @@
 //! windows reconstruct the signal exactly (time-domain alias
 //! cancellation) before quantization is applied.
 //!
-//! The implementation is a direct O(N²) transform with a precomputed
-//! cosine table — simple, allocation-free per call, and fast enough for
-//! the block sizes the codec uses (N = 512).
+//! # Fast path
+//!
+//! Both transform directions reduce to one complex FFT of the full
+//! window length `2n` with two shared twiddle tables. Writing the MDCT
+//! phase as `φ(t,k) = (π/n)(t + ½ + n/2)(k + ½)` and splitting it,
+//!
+//! - forward: `X[k] = Re(post[k] · V[k])` where `v[t] = x[t]·w[t]·pre[t]`
+//!   and `V = FFT_2n(v)`,
+//! - inverse: `time[t] = (2/n)·w[t]·Re(pre[t]·D[t])` where
+//!   `d[k] = c[k]·post[k]` zero-padded to `2n` and `D = FFT_2n(d)`,
+//!
+//! with `pre[t] = e^{-iπt/(2n)}` and
+//! `post[k] = e^{-i(π/n)(½ + n/2)(k + ½)}`. That is O(N log N) against
+//! the O(N²) direct evaluation retained in [`crate::reference`], which
+//! doubles as the execution fallback when `2n` is not a power of two
+//! and as the ground truth for the property tests.
+//!
+//! Work is billed through a [`CostModel`]: the default bills what the
+//! fast path actually performs, while [`CostModel::Direct`] preserves
+//! the paper-fidelity Figure 4 calibration.
+
+use std::cell::RefCell;
+
+use es_sim::CostModel;
+
+use crate::fft::{Complex32, Fft};
+use crate::reference::DirectMdct;
+
+enum Engine {
+    Fft {
+        fft: Fft,
+        window: Vec<f32>,
+        /// `pre[t] = e^{-iπ t / (2n)}`, length `2n`.
+        pre: Vec<Complex32>,
+        /// `post[k] = e^{-i (π/n)(½ + n/2)(k + ½)}`, length `n`.
+        post: Vec<Complex32>,
+    },
+    Direct(DirectMdct),
+}
 
 /// An MDCT/IMDCT engine for a fixed half-length `n` (window length
 /// `2n`, producing `n` coefficients per window).
 pub struct Mdct {
     n: usize,
-    window: Vec<f32>,
-    // cos_table[k * 2n + t] = cos(pi/n * (t + 0.5 + n/2) * (k + 0.5))
-    cos_table: Vec<f32>,
+    cost_model: CostModel,
+    engine: Engine,
+    /// FFT workspace, length `2n`. Interior mutability keeps `forward`/
+    /// `inverse` at `&self` (the codec engine is shared behind `Rc`)
+    /// while still being allocation-free per call.
+    freq: RefCell<Vec<Complex32>>,
+    /// Window-assembly workspace for the flat analyze/synthesize
+    /// pipeline, length `2n`.
+    asm: RefCell<Vec<f32>>,
 }
 
 impl Mdct {
-    /// Creates an engine. `n` must be a positive even number.
+    /// Creates an engine with the default (fast-path) cost model.
+    /// `n` must be a positive even number.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero or odd.
     pub fn new(n: usize) -> Self {
+        Mdct::with_cost_model(n, CostModel::default())
+    }
+
+    /// Creates an engine billing work under `cost_model`. The cost
+    /// model only changes the accounting; execution always takes the
+    /// fastest correct path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or odd.
+    pub fn with_cost_model(n: usize, cost_model: CostModel) -> Self {
         assert!(
             n > 0 && n.is_multiple_of(2),
             "MDCT half-length must be positive and even"
         );
         let two_n = 2 * n;
-        let mut window = Vec::with_capacity(two_n);
-        for t in 0..two_n {
-            let w = (core::f32::consts::PI / two_n as f32 * (t as f32 + 0.5)).sin();
-            window.push(w);
-        }
-        let mut cos_table = Vec::with_capacity(n * two_n);
-        let base = core::f32::consts::PI / n as f32;
-        for k in 0..n {
+        let engine = if two_n.is_power_of_two() {
+            let mut window = Vec::with_capacity(two_n);
             for t in 0..two_n {
-                cos_table.push((base * (t as f32 + 0.5 + n as f32 / 2.0) * (k as f32 + 0.5)).cos());
+                window.push((core::f32::consts::PI / two_n as f32 * (t as f32 + 0.5)).sin());
             }
-        }
+            let pre: Vec<Complex32> = (0..two_n)
+                .map(|t| {
+                    let theta = -core::f64::consts::PI * t as f64 / two_n as f64;
+                    Complex32::new(theta.cos() as f32, theta.sin() as f32)
+                })
+                .collect();
+            let post: Vec<Complex32> = (0..n)
+                .map(|k| {
+                    let theta = -core::f64::consts::PI / n as f64
+                        * (0.5 + n as f64 / 2.0)
+                        * (k as f64 + 0.5);
+                    Complex32::new(theta.cos() as f32, theta.sin() as f32)
+                })
+                .collect();
+            Engine::Fft {
+                fft: Fft::new(two_n),
+                window,
+                pre,
+                post,
+            }
+        } else {
+            Engine::Direct(DirectMdct::new(n))
+        };
         Mdct {
             n,
-            window,
-            cos_table,
+            cost_model,
+            engine,
+            freq: RefCell::new(vec![Complex32::ZERO; two_n]),
+            asm: RefCell::new(vec![0.0; two_n]),
         }
     }
 
@@ -60,6 +132,25 @@ impl Mdct {
         2 * self.n
     }
 
+    /// The cost model work is billed under.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// The sine analysis/synthesis window, length `2n`.
+    pub fn window(&self) -> &[f32] {
+        match &self.engine {
+            Engine::Fft { window, .. } => window,
+            Engine::Direct(d) => d.window(),
+        }
+    }
+
+    /// True when the O(N log N) FFT path is active (always, except for
+    /// half-lengths whose window is not a power of two).
+    pub fn uses_fft(&self) -> bool {
+        matches!(self.engine, Engine::Fft { .. })
+    }
+
     /// Forward MDCT of one window of `2n` time samples into `n`
     /// coefficients.
     ///
@@ -69,14 +160,24 @@ impl Mdct {
     pub fn forward(&self, time: &[f32], coeffs: &mut [f32]) {
         assert_eq!(time.len(), 2 * self.n, "input must be one full window");
         assert_eq!(coeffs.len(), self.n, "output must hold n coefficients");
-        let two_n = 2 * self.n;
-        for (k, c) in coeffs.iter_mut().enumerate() {
-            let row = &self.cos_table[k * two_n..(k + 1) * two_n];
-            let mut acc = 0.0f32;
-            for t in 0..two_n {
-                acc += time[t] * self.window[t] * row[t];
+        match &self.engine {
+            Engine::Direct(d) => d.forward(time, coeffs),
+            Engine::Fft {
+                fft,
+                window,
+                pre,
+                post,
+            } => {
+                let mut freq = self.freq.borrow_mut();
+                for (t, slot) in freq.iter_mut().enumerate() {
+                    *slot = pre[t].scale(time[t] * window[t]);
+                }
+                fft.forward(&mut freq);
+                for (k, c) in coeffs.iter_mut().enumerate() {
+                    // Re(V[k] · post[k])
+                    *c = freq[k].re * post[k].re - freq[k].im * post[k].im;
+                }
             }
-            *c = acc;
         }
     }
 
@@ -89,79 +190,145 @@ impl Mdct {
     pub fn inverse(&self, coeffs: &[f32], time: &mut [f32]) {
         assert_eq!(coeffs.len(), self.n, "input must hold n coefficients");
         assert_eq!(time.len(), 2 * self.n, "output must be one full window");
-        let two_n = 2 * self.n;
-        let scale = 2.0 / self.n as f32;
-        for (t, out) in time.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for (k, &c) in coeffs.iter().enumerate() {
-                acc += c * self.cos_table[k * two_n + t];
+        match &self.engine {
+            Engine::Direct(d) => d.inverse(coeffs, time),
+            Engine::Fft {
+                fft,
+                window,
+                pre,
+                post,
+            } => {
+                let mut freq = self.freq.borrow_mut();
+                for (k, slot) in freq.iter_mut().enumerate() {
+                    *slot = if k < self.n {
+                        post[k].scale(coeffs[k])
+                    } else {
+                        Complex32::ZERO
+                    };
+                }
+                fft.forward(&mut freq);
+                let scale = 2.0 / self.n as f32;
+                for (t, out) in time.iter_mut().enumerate() {
+                    // Re(pre[t] · D[t])
+                    *out = scale * window[t] * (pre[t].re * freq[t].re - pre[t].im * freq[t].im);
+                }
             }
-            *out = acc * self.window[t] * scale;
         }
     }
 
-    /// Multiply-accumulate operations per forward (or inverse)
+    /// Multiply-accumulate operations billed per forward (or inverse)
     /// transform — the codec's unit of CPU work for the Figure 4 cost
-    /// model.
+    /// model. Under [`CostModel::Direct`] this is the `n·2n` table walk
+    /// of the direct transform regardless of execution path; under
+    /// [`CostModel::Fft`] it is the butterfly-plus-twiddle count of the
+    /// fast path (falling back to the direct figure when the direct
+    /// engine actually runs).
     pub fn ops_per_transform(&self) -> u64 {
-        (self.n * 2 * self.n) as u64
-    }
-}
-
-/// Transforms a padded signal into MDCT coefficient blocks with 50%
-/// overlap. The signal is logically extended with `n` zeros on both
-/// sides, so a `len`-sample input (already padded to a multiple of `n`)
-/// yields `len / n + 1` windows — enough to reconstruct every input
-/// sample on decode.
-pub fn analyze(mdct: &Mdct, padded: &[f32]) -> Vec<Vec<f32>> {
-    let n = mdct.half_len();
-    assert!(
-        padded.len().is_multiple_of(n),
-        "input must be a multiple of n"
-    );
-    let blocks = padded.len() / n;
-    let mut windows = Vec::with_capacity(blocks + 1);
-    let mut buf = vec![0.0f32; 2 * n];
-    for w in 0..=blocks {
-        // Window w covers padded[(w-1)*n .. (w+1)*n] with zero fill
-        // outside the signal.
-        #[allow(clippy::needless_range_loop)]
-        for t in 0..2 * n {
-            let idx = (w as isize - 1) * n as isize + t as isize;
-            buf[t] = if idx < 0 || idx as usize >= padded.len() {
-                0.0
-            } else {
-                padded[idx as usize]
-            };
-        }
-        let mut coeffs = vec![0.0f32; n];
-        mdct.forward(&buf, &mut coeffs);
-        windows.push(coeffs);
-    }
-    windows
-}
-
-/// Reconstructs the signal from [`analyze`]-shaped coefficient blocks
-/// via overlap-add. Returns `(windows - 1) * n` samples.
-pub fn synthesize(mdct: &Mdct, windows: &[Vec<f32>]) -> Vec<f32> {
-    let n = mdct.half_len();
-    if windows.is_empty() {
-        return Vec::new();
-    }
-    let out_len = (windows.len() - 1) * n;
-    let mut out = vec![0.0f32; out_len];
-    let mut time = vec![0.0f32; 2 * n];
-    for (w, coeffs) in windows.iter().enumerate() {
-        mdct.inverse(coeffs, &mut time);
-        let start = (w as isize - 1) * n as isize;
-        #[allow(clippy::needless_range_loop)]
-        for t in 0..2 * n {
-            let idx = start + t as isize;
-            if idx >= 0 && (idx as usize) < out_len {
-                out[idx as usize] += time[t];
+        let direct = (self.n * 2 * self.n) as u64;
+        match (self.cost_model, &self.engine) {
+            (CostModel::Direct, _) | (CostModel::Fft, Engine::Direct(_)) => direct,
+            (CostModel::Fft, Engine::Fft { .. }) => {
+                let n = self.n as u64;
+                let log2_len = (2 * self.n).trailing_zeros() as u64;
+                // n butterflies per pass × log2(2n) passes × ~6 MACs,
+                // plus the pre (2n) and post (n) twiddle applications
+                // at ~4 MACs each.
+                6 * n * log2_len + 12 * n
             }
         }
     }
+
+    /// Windows produced when analyzing `padded_len` samples
+    /// (`padded_len / n + 1`; the signal is logically extended with `n`
+    /// zeros on both sides).
+    pub fn analyze_windows(&self, padded_len: usize) -> usize {
+        padded_len / self.n + 1
+    }
+
+    /// Transforms a padded signal into flat MDCT coefficients with 50%
+    /// overlap: window `w` lands in `out[w*n..(w+1)*n]`. `padded` must
+    /// be a multiple of `n` samples and `out` must hold exactly
+    /// [`Mdct::analyze_windows`]`(padded.len()) * n` values. No
+    /// allocation is performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn analyze_into(&self, padded: &[f32], out: &mut [f32]) {
+        let n = self.n;
+        assert!(
+            padded.len().is_multiple_of(n),
+            "input must be a multiple of n"
+        );
+        let windows = self.analyze_windows(padded.len());
+        assert_eq!(out.len(), windows * n, "output must hold windows * n");
+        let mut asm = self.asm.borrow_mut();
+        for w in 0..windows {
+            // Window w covers padded[(w-1)*n .. (w+1)*n] with zero fill
+            // outside the signal.
+            let start = w as isize - 1;
+            for (t, slot) in asm.iter_mut().enumerate() {
+                let idx = start * n as isize + t as isize;
+                *slot = if idx < 0 || idx as usize >= padded.len() {
+                    0.0
+                } else {
+                    padded[idx as usize]
+                };
+            }
+            self.forward(&asm, &mut out[w * n..(w + 1) * n]);
+        }
+    }
+
+    /// Reconstructs the signal from [`Mdct::analyze_into`]-shaped flat
+    /// coefficients via overlap-add. `coeffs` holds `windows`
+    /// consecutive blocks of `n` values; `out` is resized to
+    /// `(windows - 1) * n` samples. The only allocation is `out`'s own
+    /// growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` is not a multiple of `n`.
+    pub fn synthesize_into(&self, coeffs: &[f32], out: &mut Vec<f32>) {
+        let n = self.n;
+        assert!(
+            coeffs.len().is_multiple_of(n),
+            "coefficients must be whole windows"
+        );
+        let windows = coeffs.len() / n;
+        out.clear();
+        if windows == 0 {
+            return;
+        }
+        let out_len = (windows - 1) * n;
+        out.resize(out_len, 0.0);
+        let mut asm = self.asm.borrow_mut();
+        for w in 0..windows {
+            self.inverse(&coeffs[w * n..(w + 1) * n], &mut asm);
+            let start = (w as isize - 1) * n as isize;
+            for (t, &v) in asm.iter().enumerate() {
+                let idx = start + t as isize;
+                if idx >= 0 && (idx as usize) < out_len {
+                    out[idx as usize] += v;
+                }
+            }
+        }
+    }
+}
+
+/// Convenience wrapper over [`Mdct::analyze_into`] that allocates the
+/// flat coefficient buffer. Hot paths should reuse a scratch buffer
+/// instead.
+pub fn analyze(mdct: &Mdct, padded: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; mdct.analyze_windows(padded.len()) * mdct.half_len()];
+    mdct.analyze_into(padded, &mut out);
+    out
+}
+
+/// Convenience wrapper over [`Mdct::synthesize_into`] that allocates
+/// the output buffer. Hot paths should reuse a scratch buffer instead.
+pub fn synthesize(mdct: &Mdct, coeffs: &[f32]) -> Vec<f32> {
+    let mut out = Vec::new();
+    mdct.synthesize_into(coeffs, &mut out);
     out
 }
 
@@ -180,9 +347,9 @@ mod tests {
     fn perfect_reconstruction_without_quantization() {
         let mdct = Mdct::new(64);
         let signal = random_signal(640, 1);
-        let windows = analyze(&mdct, &signal);
-        assert_eq!(windows.len(), 11);
-        let rec = synthesize(&mdct, &windows);
+        let coeffs = analyze(&mdct, &signal);
+        assert_eq!(coeffs.len(), 11 * 64);
+        let rec = synthesize(&mdct, &coeffs);
         assert_eq!(rec.len(), signal.len());
         for (i, (&a, &b)) in signal.iter().zip(&rec).enumerate() {
             assert!((a - b).abs() < 1e-4, "sample {i}: {a} vs {b}");
@@ -200,6 +367,36 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max);
         assert!(err < 1e-3, "max err {err}");
+    }
+
+    #[test]
+    fn fft_path_matches_direct_reference() {
+        for n in [64usize, 256, 512] {
+            let fast = Mdct::new(n);
+            assert!(fast.uses_fft());
+            let reference = crate::reference::DirectMdct::new(n);
+            let signal = random_signal(2 * n, n as u64);
+            let mut got = vec![0.0f32; n];
+            let mut want = vec![0.0f32; n];
+            fast.forward(&signal, &mut got);
+            reference.forward(&signal, &mut want);
+            // 1e-3 relative to the window's coefficient scale: the
+            // O(N²) reference evaluates its cosine table at f32 angles
+            // in the thousands of radians, so its own entries carry
+            // ~3e-4 of phase noise at n=512.
+            let scale = want.iter().fold(1.0f32, |m, &c| m.max(c.abs()));
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < 1e-3 * scale, "n {n} coeff {k}: {g} vs {w}");
+            }
+            let mut t_got = vec![0.0f32; 2 * n];
+            let mut t_want = vec![0.0f32; 2 * n];
+            fast.inverse(&want, &mut t_got);
+            reference.inverse(&want, &mut t_want);
+            let scale = t_want.iter().fold(1.0f32, |m, &c| m.max(c.abs()));
+            for (t, (g, w)) in t_got.iter().zip(&t_want).enumerate() {
+                assert!((g - w).abs() < 1e-3 * scale, "n {n} sample {t}: {g} vs {w}");
+            }
+        }
     }
 
     #[test]
@@ -233,9 +430,31 @@ mod tests {
     }
 
     #[test]
-    fn ops_accounting_matches_table_size() {
-        let mdct = Mdct::new(512);
-        assert_eq!(mdct.ops_per_transform(), 512 * 1024);
+    fn non_power_of_two_falls_back_to_direct() {
+        // 2n = 60 is not a power of two; the engine must still be
+        // correct (via the direct fallback) and bill direct cost.
+        let mdct = Mdct::new(30);
+        assert!(!mdct.uses_fft());
+        assert_eq!(mdct.ops_per_transform(), 30 * 60);
+        let signal = random_signal(300, 3);
+        let rec = synthesize(&mdct, &analyze(&mdct, &signal));
+        for (i, (&a, &b)) in signal.iter().zip(&rec).enumerate() {
+            assert!((a - b).abs() < 1e-4, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ops_accounting_follows_cost_model() {
+        // Paper-fidelity billing: the full n·2n table walk.
+        let direct = Mdct::with_cost_model(512, CostModel::Direct);
+        assert_eq!(direct.ops_per_transform(), 512 * 1024);
+        // Fast-path billing: 6·n·log2(2n) + 12·n.
+        let fft = Mdct::new(512);
+        assert_eq!(fft.cost_model(), CostModel::Fft);
+        assert_eq!(fft.ops_per_transform(), 6 * 512 * 10 + 12 * 512);
+        // The switch is accounting-only: both run the same engine.
+        assert!(direct.uses_fft() && fft.uses_fft());
+        assert!(direct.ops_per_transform() > 5 * fft.ops_per_transform());
     }
 
     #[test]
@@ -250,5 +469,13 @@ mod tests {
         let mdct = Mdct::new(32);
         let mut coeffs = vec![0.0; 32];
         mdct.forward(&[0.0; 10], &mut coeffs);
+    }
+
+    #[test]
+    #[should_panic(expected = "windows * n")]
+    fn analyze_into_checks_output_length() {
+        let mdct = Mdct::new(32);
+        let mut out = vec![0.0; 32];
+        mdct.analyze_into(&[0.0; 64], &mut out);
     }
 }

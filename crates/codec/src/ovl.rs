@@ -19,8 +19,12 @@
 //! The encoder reports *work units* (multiply-accumulate counts), which
 //! the Figure 4 harness converts to Geode-class CPU cycles.
 
+use std::cell::RefCell;
+
+use es_sim::CostModel;
+
 use crate::bitstream::{unzigzag, zigzag, BitReader, BitWriter};
-use crate::mdct::{analyze, synthesize, Mdct};
+use crate::mdct::Mdct;
 
 /// Half-length of the MDCT (coefficients per window).
 pub const BLOCK: usize = 512;
@@ -118,10 +122,25 @@ pub fn band_bits(quality: u8, band: usize) -> Option<u8> {
 }
 
 /// The OVL codec engine. Construction precomputes the MDCT tables;
-/// reuse one instance across packets.
+/// reuse one instance across packets — the window pipeline runs out of
+/// flat scratch buffers that grow once and are reused per packet.
 pub struct OvlCodec {
     mdct: Mdct,
     widths: Vec<usize>,
+    scratch: RefCell<Scratch>,
+}
+
+/// Reusable per-packet workspace (single-threaded; the sim never
+/// re-enters a codec call).
+#[derive(Default)]
+struct Scratch {
+    /// One channel's deinterleaved, zero-padded time samples.
+    plane: Vec<f32>,
+    /// Flat MDCT coefficients for all channels: channel `c`'s windows
+    /// occupy `coeffs[c * windows * BLOCK..][..windows * BLOCK]`.
+    coeffs: Vec<f32>,
+    /// One channel's reconstructed time samples.
+    synth: Vec<f32>,
 }
 
 impl Default for OvlCodec {
@@ -131,11 +150,19 @@ impl Default for OvlCodec {
 }
 
 impl OvlCodec {
-    /// Creates an engine with the standard block size.
+    /// Creates an engine with the standard block size and the default
+    /// (fast-path) cost model.
     pub fn new() -> Self {
+        OvlCodec::with_cost_model(CostModel::default())
+    }
+
+    /// Creates an engine billing MDCT work under `cost_model` (see
+    /// [`es_sim::CostModel`]); execution is identical either way.
+    pub fn with_cost_model(cost_model: CostModel) -> Self {
         OvlCodec {
-            mdct: Mdct::new(BLOCK),
+            mdct: Mdct::with_cost_model(BLOCK, cost_model),
             widths: band_widths(BLOCK),
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
@@ -164,24 +191,29 @@ impl OvlCodec {
         let mut bw = BitWriter::new();
         let mut work: u64 = samples.len() as u64 * 4;
 
-        // Deinterleave, pad, analyze and pack channel by channel so the
-        // decoder can stream in the same order.
-        let mut planes = Vec::with_capacity(ch);
+        // Deinterleave, pad and analyze channel by channel into one
+        // flat coefficient buffer, then pack windows interleaved by
+        // channel so the decoder can stream in the same order.
+        let n_windows = self.mdct.analyze_windows(padded_len);
+        let wn = n_windows * BLOCK;
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.coeffs.resize(ch * wn, 0.0);
         for c in 0..ch {
-            let mut plane = Vec::with_capacity(padded_len);
-            for f in 0..per_ch {
-                plane.push(samples[f * ch + c] as f32 / 32_768.0);
-            }
-            plane.resize(padded_len, 0.0);
-            let windows = analyze(&self.mdct, &plane);
-            work += windows.len() as u64 * self.mdct.ops_per_transform();
-            planes.push(windows);
+            scratch.plane.clear();
+            scratch
+                .plane
+                .extend((0..per_ch).map(|f| samples[f * ch + c] as f32 / 32_768.0));
+            scratch.plane.resize(padded_len, 0.0);
+            self.mdct
+                .analyze_into(&scratch.plane, &mut scratch.coeffs[c * wn..(c + 1) * wn]);
+            work += n_windows as u64 * self.mdct.ops_per_transform();
         }
 
-        let n_windows = planes[0].len();
         for w in 0..n_windows {
-            for plane in &planes {
-                self.pack_window(&mut bw, &plane[w], quality);
+            for c in 0..ch {
+                let coeffs = &scratch.coeffs[c * wn + w * BLOCK..][..BLOCK];
+                self.pack_window(&mut bw, coeffs, quality);
             }
         }
 
@@ -261,19 +293,24 @@ impl OvlCodec {
 
         let mut br = BitReader::new(&bytes[6..]);
         let mut work: u64 = (per_ch * ch) as u64 * 2;
-        let mut planes: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(n_windows); ch];
-        for _w in 0..n_windows {
-            for plane in planes.iter_mut() {
-                plane.push(self.unpack_window(&mut br, quality)?);
+        let wn = n_windows * BLOCK;
+        let mut scratch = self.scratch.borrow_mut();
+        let scratch = &mut *scratch;
+        scratch.coeffs.resize(ch * wn, 0.0);
+        for w in 0..n_windows {
+            for c in 0..ch {
+                let coeffs = &mut scratch.coeffs[c * wn + w * BLOCK..][..BLOCK];
+                self.unpack_window(&mut br, quality, coeffs)?;
             }
         }
 
         let mut out = vec![0i16; per_ch * ch];
-        for (c, windows) in planes.iter().enumerate() {
-            let rec = synthesize(&self.mdct, windows);
-            work += windows.len() as u64 * self.mdct.ops_per_transform();
+        for c in 0..ch {
+            self.mdct
+                .synthesize_into(&scratch.coeffs[c * wn..(c + 1) * wn], &mut scratch.synth);
+            work += n_windows as u64 * self.mdct.ops_per_transform();
             for f in 0..per_ch {
-                let v = (rec[f] * 32_767.0).clamp(-32_768.0, 32_767.0);
+                let v = (scratch.synth[f] * 32_767.0).clamp(-32_768.0, 32_767.0);
                 out[f * ch + c] = v as i16;
             }
         }
@@ -284,8 +321,13 @@ impl OvlCodec {
         })
     }
 
-    fn unpack_window(&self, br: &mut BitReader<'_>, quality: u8) -> Result<Vec<f32>, OvlError> {
-        let mut coeffs = vec![0.0f32; BLOCK];
+    fn unpack_window(
+        &self,
+        br: &mut BitReader<'_>,
+        quality: u8,
+        coeffs: &mut [f32],
+    ) -> Result<(), OvlError> {
+        coeffs.fill(0.0);
         let mut start = 0usize;
         for (b, &width) in self.widths.iter().enumerate() {
             let keep = br.read_bit().map_err(|_| OvlError::BadBitstream)?;
@@ -307,7 +349,7 @@ impl OvlCodec {
             }
             start += width;
         }
-        Ok(coeffs)
+        Ok(())
     }
 }
 

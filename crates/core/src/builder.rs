@@ -10,6 +10,7 @@ use std::rc::Rc;
 
 use es_audio::gen::{ImpulseTrain, MultiTone, Signal, Sine, Sweep, WhiteNoise};
 use es_audio::AudioConfig;
+use es_codec::CostModel;
 use es_net::{Lan, LanConfig, McastGroup};
 use es_proto::auth::StreamSigner;
 use es_rebroadcast::{
@@ -92,6 +93,9 @@ pub struct ChannelSpec {
     /// One XOR-parity packet per this many data packets (FEC extension
     /// for lossy links).
     pub fec_group: Option<u8>,
+    /// How transform work is billed to the CPU model (paper-fidelity
+    /// direct cost vs. the default FFT fast path).
+    pub cost_model: CostModel,
 }
 
 impl ChannelSpec {
@@ -114,6 +118,7 @@ impl ChannelSpec {
             vad_block_ms: 50,
             playout_delay: SimDuration::from_millis(200),
             fec_group: None,
+            cost_model: CostModel::default(),
         }
     }
 
@@ -192,6 +197,12 @@ impl ChannelSpec {
     /// Emits one XOR-parity packet per `n` data packets.
     pub fn fec_group(mut self, n: u8) -> Self {
         self.fec_group = Some(n);
+        self
+    }
+
+    /// Selects how transform work is billed to the CPU model.
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
         self
     }
 }
@@ -273,6 +284,12 @@ impl SpeakerSpec {
     /// Enables packet-loss concealment (replay-and-fade).
     pub fn with_loss_concealment(mut self) -> Self {
         self.config.conceal_loss = true;
+        self
+    }
+
+    /// Selects how transform decode work is billed to the CPU model.
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.config.cost_model = cost_model;
         self
     }
 }
@@ -357,6 +374,7 @@ impl SystemBuilder {
             rcfg.signer = ch.signer.clone();
             rcfg.playout_delay = ch.playout_delay;
             rcfg.fec_group = ch.fec_group;
+            rcfg.cost_model = ch.cost_model;
             let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer_node, master, rcfg);
             rb.set_journal(journal.clone());
             catalog_entries.push((ch.stream_id, ch.group, ch.name.clone(), ch.config, ch.flags));

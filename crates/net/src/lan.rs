@@ -712,6 +712,34 @@ mod tests {
     }
 
     #[test]
+    fn multicast_fanout_shares_one_payload_allocation() {
+        // The fan-out is zero-copy: every receiver's datagram must
+        // reference the sender's payload buffer, not a deep copy.
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let g = McastGroup(7);
+        let ptrs: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..8 {
+            let node = lan.attach(format!("es{i}"));
+            lan.join(node, g);
+            let p = ptrs.clone();
+            lan.set_handler(node, move |_sim, dg| {
+                p.borrow_mut().push(dg.payload.as_ptr() as usize);
+            });
+        }
+        let payload = Bytes::from(vec![0xABu8; 4_096]);
+        let backing = payload.as_ptr() as usize;
+        lan.multicast(&mut sim, producer, g, payload);
+        sim.run();
+        let ptrs = ptrs.borrow();
+        assert_eq!(ptrs.len(), 8);
+        for &p in ptrs.iter() {
+            assert_eq!(p, backing, "receiver saw a copied payload");
+        }
+    }
+
+    #[test]
     fn join_leave_controls_membership() {
         let mut sim = Sim::new(1);
         let lan = Lan::new(LanConfig::default());

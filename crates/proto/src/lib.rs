@@ -26,7 +26,8 @@ pub use auth::{AuthTrailer, StreamSigner, StreamVerifier, TRAILER_LEN};
 pub use fec::{FecRecoverer, ParityAccumulator, ParityPacket};
 pub use monitor::{QualityReport, StreamMonitor};
 pub use packet::{
-    decode, encode_announce, encode_control, encode_data, encode_parity, AnnouncePacket,
+    decode, encode_announce, encode_announce_into, encode_control, encode_control_into,
+    encode_data, encode_data_into, encode_parity, encode_parity_into, AnnouncePacket,
     ControlPacket, DataPacket, Packet, StreamInfo, WireError, FLAG_AUTHENTICATED, FLAG_PRIORITY,
     RECOMMENDED_MAX_PAYLOAD,
 };

@@ -204,40 +204,63 @@ fn get_config(buf: &mut impl Buf) -> Result<AudioConfig, WireError> {
     Ok(cfg)
 }
 
-fn finish(mut buf: BytesMut) -> Bytes {
-    let crc = crc32(&buf);
+/// Appends the CRC of everything written since `start`. The `_into`
+/// encoders compute the checksum over their own region only, so a
+/// caller may serialize into a buffer that already holds other bytes.
+fn finish_into(buf: &mut BytesMut, start: usize) {
+    let crc = crc32(&buf[start..]);
     buf.put_u32_le(crc);
-    buf.freeze()
+}
+
+/// Serializes a control packet into `buf`, appending to any existing
+/// contents. The allocation-free sibling of [`encode_control`]; hot
+/// paths hand in a reusable scratch buffer.
+pub fn encode_control_into(p: &ControlPacket, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.reserve(40);
+    put_header(buf, TYPE_CONTROL, p.stream_id, p.seq);
+    buf.put_u64_le(p.producer_time_us);
+    put_config(buf, &p.config);
+    buf.put_u8(p.codec);
+    buf.put_u8(p.quality);
+    buf.put_u16_le(p.control_interval_ms);
+    buf.put_u16_le(p.flags);
+    finish_into(buf, start);
 }
 
 /// Serializes a control packet.
 pub fn encode_control(p: &ControlPacket) -> Bytes {
     let mut buf = BytesMut::with_capacity(40);
-    put_header(&mut buf, TYPE_CONTROL, p.stream_id, p.seq);
-    buf.put_u64_le(p.producer_time_us);
-    put_config(&mut buf, &p.config);
+    encode_control_into(p, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a data packet into `buf`, appending to any existing
+/// contents. See [`encode_control_into`].
+pub fn encode_data_into(p: &DataPacket, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.reserve(DATA_ENVELOPE + p.payload.len());
+    put_header(buf, TYPE_DATA, p.stream_id, p.seq);
+    buf.put_u64_le(p.play_at_us);
     buf.put_u8(p.codec);
-    buf.put_u8(p.quality);
-    buf.put_u16_le(p.control_interval_ms);
-    buf.put_u16_le(p.flags);
-    finish(buf)
+    buf.put_u32_le(p.payload.len() as u32);
+    buf.put_slice(&p.payload);
+    finish_into(buf, start);
 }
 
 /// Serializes a data packet.
 pub fn encode_data(p: &DataPacket) -> Bytes {
     let mut buf = BytesMut::with_capacity(DATA_ENVELOPE + p.payload.len());
-    put_header(&mut buf, TYPE_DATA, p.stream_id, p.seq);
-    buf.put_u64_le(p.play_at_us);
-    buf.put_u8(p.codec);
-    buf.put_u32_le(p.payload.len() as u32);
-    buf.put_slice(&p.payload);
-    finish(buf)
+    encode_data_into(p, &mut buf);
+    buf.freeze()
 }
 
-/// Serializes an announce packet.
-pub fn encode_announce(p: &AnnouncePacket) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + p.streams.len() * 32);
-    put_header(&mut buf, TYPE_ANNOUNCE, 0, p.seq);
+/// Serializes an announce packet into `buf`, appending to any existing
+/// contents. See [`encode_control_into`].
+pub fn encode_announce_into(p: &AnnouncePacket, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.reserve(64 + p.streams.len() * 32);
+    put_header(buf, TYPE_ANNOUNCE, 0, p.seq);
     buf.put_u64_le(p.producer_time_us);
     buf.put_u16_le(p.streams.len() as u16);
     for s in &p.streams {
@@ -248,23 +271,39 @@ pub fn encode_announce(p: &AnnouncePacket) -> Bytes {
         buf.put_u8(len as u8);
         buf.put_slice(&name[..len]);
         buf.put_u8(s.codec);
-        put_config(&mut buf, &s.config);
+        put_config(buf, &s.config);
         buf.put_u16_le(s.flags);
     }
-    finish(buf)
+    finish_into(buf, start);
 }
 
-/// Serializes a parity packet.
-pub fn encode_parity(p: &ParityPacket) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32 + p.payload.len());
-    put_header(&mut buf, TYPE_PARITY, p.stream_id, p.base_seq);
+/// Serializes an announce packet.
+pub fn encode_announce(p: &AnnouncePacket) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + p.streams.len() * 32);
+    encode_announce_into(p, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes a parity packet into `buf`, appending to any existing
+/// contents. See [`encode_control_into`].
+pub fn encode_parity_into(p: &ParityPacket, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.reserve(32 + p.payload.len());
+    put_header(buf, TYPE_PARITY, p.stream_id, p.base_seq);
     buf.put_u8(p.count);
     buf.put_u64_le(p.xor_play_at_us);
     buf.put_u32_le(p.xor_len);
     buf.put_u8(p.xor_codec);
     buf.put_u32_le(p.payload.len() as u32);
     buf.put_slice(&p.payload);
-    finish(buf)
+    finish_into(buf, start);
+}
+
+/// Serializes a parity packet.
+pub fn encode_parity(p: &ParityPacket) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + p.payload.len());
+    encode_parity_into(p, &mut buf);
+    buf.freeze()
 }
 
 /// Parses any packet, verifying magic, version and CRC.
@@ -599,6 +638,61 @@ mod tests {
             payload: Bytes::from(vec![0u8; RECOMMENDED_MAX_PAYLOAD]),
         };
         assert_eq!(encode_data(&p).len(), 1_472);
+    }
+
+    #[test]
+    fn encode_into_appends_with_region_crc() {
+        // The _into encoders must checksum only their own region, so a
+        // reused scratch buffer with leftover contents still yields a
+        // byte-identical, decodable packet.
+        let c = control();
+        let d = DataPacket {
+            stream_id: 2,
+            seq: 9,
+            play_at_us: 44,
+            codec: 1,
+            payload: Bytes::from(vec![7u8; 64]),
+        };
+        let mut buf = BytesMut::with_capacity(256);
+        buf.put_slice(b"junk-prefix");
+        let start = buf.len();
+        encode_control_into(&c, &mut buf);
+        let mid = buf.len();
+        encode_data_into(&d, &mut buf);
+        assert_eq!(&buf[start..mid], &encode_control(&c)[..]);
+        assert_eq!(&buf[mid..], &encode_data(&d)[..]);
+        assert!(matches!(decode(&buf[mid..]).unwrap(), Packet::Data(p) if p == d));
+    }
+
+    #[test]
+    fn encode_into_matches_allocating_encoders() {
+        let a = AnnouncePacket {
+            seq: 1,
+            producer_time_us: 2,
+            streams: vec![StreamInfo {
+                stream_id: 1,
+                group: 10,
+                name: "ch".into(),
+                codec: 3,
+                config: AudioConfig::CD,
+                flags: 0,
+            }],
+        };
+        let p = ParityPacket {
+            stream_id: 3,
+            base_seq: 40,
+            count: 4,
+            xor_play_at_us: 5,
+            xor_len: 6,
+            xor_codec: 2,
+            payload: Bytes::from(vec![0x55; 32]),
+        };
+        let mut buf = BytesMut::new();
+        encode_announce_into(&a, &mut buf);
+        assert_eq!(&buf[..], &encode_announce(&a)[..]);
+        buf.clear();
+        encode_parity_into(&p, &mut buf);
+        assert_eq!(&buf[..], &encode_parity(&p)[..]);
     }
 
     proptest::proptest! {

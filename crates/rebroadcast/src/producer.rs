@@ -20,14 +20,16 @@
 
 use std::rc::Rc;
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 
 use es_audio::convert::decode_samples;
 use es_audio::AudioConfig;
-use es_codec::{CodecId, Codecs};
+use es_codec::{CodecId, Codecs, CostModel};
 use es_net::{Lan, McastGroup, NodeId};
 use es_proto::auth::StreamSigner;
-use es_proto::{encode_control, encode_data, ControlPacket, DataPacket, FLAG_AUTHENTICATED};
+use es_proto::{
+    encode_control_into, encode_data_into, ControlPacket, DataPacket, FLAG_AUTHENTICATED,
+};
 use es_sim::{shared, RepeatingTimer, Shared, Sim, SimCpu, SimDuration, SimTime};
 use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 use es_vad::{MasterItem, VadMaster};
@@ -62,6 +64,10 @@ pub struct RebroadcasterConfig {
     /// Emit one XOR-parity packet per this many data packets (single-
     /// loss FEC, an extension for lossy links). `None` disables FEC.
     pub fec_group: Option<u8>,
+    /// How transform work is billed to the CPU model: the default FFT
+    /// accounting, or [`CostModel::Direct`] to reproduce the paper's
+    /// O(N²)-codec load figures (Figure 4).
+    pub cost_model: CostModel,
 }
 
 impl RebroadcasterConfig {
@@ -81,6 +87,7 @@ impl RebroadcasterConfig {
             signer: None,
             auth_interval: SimDuration::from_millis(500),
             fec_group: None,
+            cost_model: CostModel::default(),
         }
     }
 }
@@ -155,6 +162,10 @@ struct ProducerState {
     stats: ProducerStats,
     parity_acc: Option<es_proto::ParityAccumulator>,
     journal: Option<Journal>,
+    /// Reusable packet-serialization buffer: every outgoing packet is
+    /// encoded and signed in place here, then split off as a shared
+    /// [`Bytes`] — one allocation per packet, zero copies.
+    scratch: BytesMut,
 }
 
 /// A running rebroadcaster for one stream.
@@ -178,6 +189,7 @@ impl Rebroadcaster {
         cfg: RebroadcasterConfig,
     ) -> Rebroadcaster {
         let control_interval = cfg.control_interval;
+        let cost_model = cfg.cost_model;
         let parity_acc = cfg.fec_group.map(es_proto::ParityAccumulator::new);
         let state = shared(ProducerState {
             stream_cfg: AudioConfig::default(),
@@ -192,11 +204,12 @@ impl Rebroadcaster {
             stats: ProducerStats::default(),
             parity_acc,
             journal: None,
+            scratch: BytesMut::new(),
             cfg,
         });
         let rb = Rebroadcaster {
             state,
-            codecs: Rc::new(Codecs::new()),
+            codecs: Rc::new(Codecs::with_cost_model(cost_model)),
             lan,
             node,
             master,
@@ -346,18 +359,16 @@ impl Rebroadcaster {
                 codec: codec.to_wire(),
                 payload: Bytes::from(enc.bytes),
             };
-            let mut bytes = encode_data(&pkt).to_vec();
-            rb.maybe_sign(sim, &mut bytes);
-            rb.lan.multicast(sim, rb.node, group, Bytes::from(bytes));
+            let sealed = rb.seal(sim, |buf| encode_data_into(&pkt, buf));
+            rb.lan.multicast(sim, rb.node, group, sealed);
             // FEC: absorb the packet; a completed group emits parity.
             let parity = {
                 let mut st = rb.state.borrow_mut();
                 st.parity_acc.as_mut().and_then(|acc| acc.absorb(&pkt))
             };
             if let Some(parity) = parity {
-                let mut bytes = es_proto::encode_parity(&parity).to_vec();
-                rb.maybe_sign(sim, &mut bytes);
-                rb.lan.multicast(sim, rb.node, group, Bytes::from(bytes));
+                let sealed = rb.seal(sim, |buf| es_proto::encode_parity_into(&parity, buf));
+                rb.lan.multicast(sim, rb.node, group, sealed);
             }
         });
     }
@@ -387,14 +398,27 @@ impl Rebroadcaster {
             }
         };
         let group = self.state.borrow().cfg.group;
-        let mut bytes = encode_control(&pkt).to_vec();
-        self.maybe_sign(sim, &mut bytes);
-        self.lan
-            .multicast(sim, self.node, group, Bytes::from(bytes));
+        let sealed = self.seal(sim, |buf| encode_control_into(&pkt, buf));
+        self.lan.multicast(sim, self.node, group, sealed);
+    }
+
+    /// Serializes one packet in the reusable scratch buffer, appends
+    /// the auth trailer when signing is configured, and hands the bytes
+    /// off as an immutable [`Bytes`] without copying. The buffer is
+    /// taken out of the shared state for the duration so `encode` and
+    /// [`Self::maybe_sign`] may borrow the state themselves.
+    fn seal(&self, sim: &mut Sim, encode: impl FnOnce(&mut BytesMut)) -> Bytes {
+        let mut scratch = std::mem::take(&mut self.state.borrow_mut().scratch);
+        scratch.clear();
+        encode(&mut scratch);
+        self.maybe_sign(sim, &mut scratch);
+        let sealed = scratch.split().freeze();
+        self.state.borrow_mut().scratch = scratch;
+        sealed
     }
 
     /// Appends an auth trailer when signing is configured.
-    fn maybe_sign(&self, sim: &mut Sim, bytes: &mut Vec<u8>) {
+    fn maybe_sign(&self, sim: &mut Sim, bytes: &mut BytesMut) {
         let st = self.state.borrow();
         let Some(signer) = st.cfg.signer.as_ref() else {
             return;

@@ -24,7 +24,7 @@ pub mod sched;
 pub mod series;
 pub mod time;
 
-pub use cpu::SimCpu;
+pub use cpu::{CostModel, SimCpu};
 pub use engine::{shared, EventId, RepeatingTimer, Shared, Sim};
 pub use series::{BucketAccumulator, TimeSeries};
 pub use time::{SimDuration, SimTime};

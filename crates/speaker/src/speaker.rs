@@ -70,6 +70,10 @@ pub struct SpeakerConfig {
     /// beyond the paper (its LAN never lost packets, §2.3); the E-LOSS
     /// ablation measures what it buys.
     pub conceal_loss: bool,
+    /// How transform decode work is billed to the CPU model: FFT
+    /// accounting by default, [`es_codec::CostModel::Direct`] for the
+    /// paper's O(N²)-codec load figures.
+    pub cost_model: es_codec::CostModel,
 }
 
 impl SpeakerConfig {
@@ -89,6 +93,7 @@ impl SpeakerConfig {
             serial_queue_depth: None,
             asap_playback: false,
             conceal_loss: false,
+            cost_model: es_codec::CostModel::default(),
         }
     }
 }
@@ -223,6 +228,7 @@ impl EthernetSpeaker {
             .as_ref()
             .map(|(avc, _)| AutoVolume::new(*avc));
         let tuned = cfg.group;
+        let cost_model = cfg.cost_model;
         let state = shared(SpkState {
             serial_busy: false,
             serial_queue: std::collections::VecDeque::new(),
@@ -246,7 +252,7 @@ impl EthernetSpeaker {
         });
         let spk = EthernetSpeaker {
             state,
-            codecs: Rc::new(Codecs::new()),
+            codecs: Rc::new(Codecs::with_cost_model(cost_model)),
             lan: lan.clone(),
             node,
             dev,

@@ -26,7 +26,7 @@
 //! plain numbers and need no clock at all.
 
 mod journal;
-mod json;
+pub mod json;
 mod metrics;
 
 pub use journal::{Event, Journal, JournalSink, Severity, Stamp, TimeDomain};

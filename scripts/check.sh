@@ -19,6 +19,16 @@ cargo test -q
 echo "== workspace tests"
 cargo test --workspace -q
 
+# Hot-path perf smoke: run the perf_hotpath bench in quick mode. The
+# binary itself exits non-zero if any metric is zero/NaN or the JSON
+# report it writes (BENCH_PR3.json) fails to parse back, so this step
+# fails on a broken hot path or a malformed report. To also warn about
+# >20% throughput regressions against a saved report, set
+# ES_BENCH_BASELINE=<path-to-previous-BENCH_PR3.json> (warnings only,
+# never fails the gate; see EXPERIMENTS.md).
+echo "== perf_hotpath smoke (ES_BENCH_QUICK=1)"
+ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench perf_hotpath
+
 # Chaos determinism gate: the conformance suite already runs every
 # scenario twice in-process; here the whole suite runs twice in
 # separate processes with a pinned seed, and the telemetry fingerprints

@@ -11,8 +11,9 @@ use crate::encoding::Encoding;
 const ULAW_BIAS: i32 = 0x84;
 const ULAW_CLIP: i32 = 32_635;
 
-/// Compands one linear sample to G.711 µ-law.
-pub fn linear_to_ulaw(sample: i16) -> u8 {
+/// [`linear_to_ulaw`] computed from the G.711 reference algorithm;
+/// kept `const` so the encode table is built at compile time.
+const fn ulaw_compress(sample: i16) -> u8 {
     let mut s = sample as i32;
     let sign: u8 = if s < 0 {
         s = -s;
@@ -30,6 +31,26 @@ pub fn linear_to_ulaw(sample: i16) -> u8 {
     let exponent = top - 7;
     let mantissa = ((s >> (exponent + 3)) & 0x0F) as u8;
     !(sign | ((exponent as u8) << 4) | mantissa)
+}
+
+/// Every 16-bit sample's µ-law code, precomputed: encode becomes one
+/// table load per sample instead of sign/clip/bias/priority-encode
+/// arithmetic. 64 KiB buys the hot producer path (every outgoing
+/// companded packet walks it) a branch-free inner loop.
+static ULAW_ENCODE_TABLE: [u8; 65_536] = {
+    let mut t = [0u8; 65_536];
+    let mut i = 0;
+    while i < 65_536 {
+        t[i] = ulaw_compress(i as u16 as i16);
+        i += 1;
+    }
+    t
+};
+
+/// Compands one linear sample to G.711 µ-law.
+#[inline]
+pub fn linear_to_ulaw(sample: i16) -> u8 {
+    ULAW_ENCODE_TABLE[sample as u16 as usize]
 }
 
 /// [`ulaw_to_linear`] computed from the G.711 reference algorithm;
@@ -65,8 +86,9 @@ pub fn ulaw_to_linear(ulaw: u8) -> i16 {
     ULAW_TABLE[ulaw as usize]
 }
 
-/// Compands one linear sample to G.711 A-law.
-pub fn linear_to_alaw(sample: i16) -> u8 {
+/// [`linear_to_alaw`] computed from the G.711 reference algorithm;
+/// kept `const` so the encode table is built at compile time.
+const fn alaw_compress(sample: i16) -> u8 {
     let mut ix: i32 = if sample < 0 {
         ((!sample) >> 4) as i32
     } else {
@@ -85,6 +107,24 @@ pub fn linear_to_alaw(sample: i16) -> u8 {
         ix |= 0x80;
     }
     (ix as u8) ^ 0x55
+}
+
+/// Every 16-bit sample's A-law code, precomputed like
+/// [`ULAW_ENCODE_TABLE`].
+static ALAW_ENCODE_TABLE: [u8; 65_536] = {
+    let mut t = [0u8; 65_536];
+    let mut i = 0;
+    while i < 65_536 {
+        t[i] = alaw_compress(i as u16 as i16);
+        i += 1;
+    }
+    t
+};
+
+/// Compands one linear sample to G.711 A-law.
+#[inline]
+pub fn linear_to_alaw(sample: i16) -> u8 {
+    ALAW_ENCODE_TABLE[sample as u16 as usize]
 }
 
 /// [`alaw_to_linear`] computed from the G.711 reference algorithm;
@@ -292,6 +332,14 @@ mod tests {
         for code in 0..=255u8 {
             assert_eq!(ulaw_to_linear(code), ulaw_expand(code), "ulaw {code}");
             assert_eq!(alaw_to_linear(code), alaw_expand(code), "alaw {code}");
+        }
+    }
+
+    #[test]
+    fn encode_tables_match_reference_algorithm() {
+        for s in i16::MIN..=i16::MAX {
+            assert_eq!(linear_to_ulaw(s), ulaw_compress(s), "ulaw {s}");
+            assert_eq!(linear_to_alaw(s), alaw_compress(s), "alaw {s}");
         }
     }
 

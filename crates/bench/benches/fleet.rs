@@ -1,0 +1,76 @@
+//! Fleet-scaling benchmark with a tracked JSON baseline.
+//!
+//! Sweeps speaker count × fleet lane count through the full simulated
+//! stack (see `es_bench::fleet_exp` for the work/span methodology),
+//! prints a table, and writes the report to `BENCH_PR4.json` at the
+//! repo root. The process exits non-zero if the report fails
+//! validation or the written file does not parse back.
+//!
+//! Run: `cargo bench -p es-bench --bench fleet`
+//! (`ES_BENCH_QUICK=1` shrinks the sweep for CI;
+//! `ES_BENCH_BASELINE=<file>` warns on >20% regressions against a
+//! saved report — `BENCH_PR3.json` works too, via the shared
+//! `pipeline` group.)
+
+use es_bench::fleet_exp;
+
+fn main() {
+    let report = fleet_exp::run();
+    println!("== fleet: x-realtime vs. speakers x lanes ==");
+    if report.quick {
+        println!("(quick mode: shortened sweep, numbers are smoke-test grade)");
+    }
+    let mut rows = Vec::new();
+    for (group, metrics) in &report.groups {
+        for (name, value) in metrics {
+            rows.push(vec![group.clone(), name.clone(), format!("{value:.3}")]);
+        }
+    }
+    println!(
+        "{}",
+        es_bench::report::table(&["group", "metric", "value"], &rows)
+    );
+
+    if let Err(bad) = report.validate() {
+        eprintln!("fleet: invalid metric: {bad}");
+        std::process::exit(1);
+    }
+
+    let doc = report.to_json();
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    if let Err(e) = std::fs::write(out_path, format!("{doc}\n")) {
+        eprintln!("fleet: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let written = std::fs::read_to_string(out_path).unwrap_or_default();
+    match es_bench::perf::flatten_metrics(&written) {
+        Ok(flat) if !flat.is_empty() => {
+            println!("wrote {} metrics to {out_path}", flat.len());
+        }
+        Ok(_) => {
+            eprintln!("fleet: {out_path} contains no metrics");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("fleet: {out_path} is malformed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Ok(path) = std::env::var("ES_BENCH_BASELINE") {
+        match std::fs::read_to_string(&path) {
+            Ok(baseline) => match es_bench::perf::baseline_warnings(&doc, &baseline) {
+                Ok(warnings) if warnings.is_empty() => {
+                    println!("baseline {path}: no regressions > 20%");
+                }
+                Ok(warnings) => {
+                    for w in &warnings {
+                        eprintln!("fleet: {w}");
+                    }
+                }
+                Err(e) => eprintln!("fleet: baseline {path} unusable: {e}"),
+            },
+            Err(e) => eprintln!("fleet: cannot read baseline {path}: {e}"),
+        }
+    }
+}

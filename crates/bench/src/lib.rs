@@ -12,6 +12,7 @@ pub mod bw;
 pub mod calib;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet_exp;
 pub mod join_exp;
 pub mod loss_exp;
 pub mod perf;

@@ -41,6 +41,8 @@ pub const MDCT_N: usize = 512;
 /// A perf report: ordered metric groups of `(name, value)` pairs.
 /// Order is presentation order; the JSON object sorts keys itself.
 pub struct PerfReport {
+    /// Which experiment produced the report (the JSON `bench` tag).
+    pub bench: String,
     /// True when the run used the shortened `ES_BENCH_QUICK` budgets.
     pub quick: bool,
     /// Metric groups: `(group, [(metric, value)])`.
@@ -49,9 +51,11 @@ pub struct PerfReport {
 
 impl PerfReport {
     /// Renders the report as a JSON object:
-    /// `{"bench":"perf_hotpath","quick":...,"<group>":{"<metric>":...}}`.
+    /// `{"bench":"<bench>","quick":...,"<group>":{"<metric>":...}}`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"bench\":\"perf_hotpath\",\"quick\":");
+        let mut out = String::from("{\"bench\":");
+        json::write_str(&mut out, &self.bench);
+        out.push_str(",\"quick\":");
         out.push_str(if self.quick { "true" } else { "false" });
         for (group, metrics) in &self.groups {
             out.push(',');
@@ -126,7 +130,7 @@ pub fn baseline_warnings(current: &str, baseline: &str) -> Result<Vec<String>, S
     Ok(warnings)
 }
 
-fn quick() -> bool {
+pub(crate) fn quick() -> bool {
     matches!(std::env::var("ES_BENCH_QUICK"), Ok(v) if v == "1" || v.eq_ignore_ascii_case("true"))
 }
 
@@ -268,6 +272,7 @@ pub fn run() -> PerfReport {
     let iters: u32 = if quick { 30 } else { 400 };
     let audio_seconds: u64 = if quick { 2 } else { 10 };
     PerfReport {
+        bench: "perf_hotpath".into(),
         quick,
         groups: vec![
             ("mdct".into(), mdct_group(iters)),
@@ -284,6 +289,7 @@ mod tests {
 
     fn tiny_report() -> PerfReport {
         PerfReport {
+            bench: "perf_hotpath".into(),
             quick: true,
             groups: vec![
                 ("mdct".into(), mdct_group(3)),
@@ -309,6 +315,7 @@ mod tests {
     #[test]
     fn validation_rejects_zero_and_nan() {
         let mut r = PerfReport {
+            bench: "perf_hotpath".into(),
             quick: true,
             groups: vec![("g".into(), vec![("ok".into(), 1.0), ("bad".into(), 0.0)])],
         };

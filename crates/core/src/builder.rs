@@ -339,6 +339,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Pins the fleet executor to `n` decode lanes for this process
+    /// (`0` restores the `ES_FLEET_THREADS` / hardware default). The
+    /// merge is deterministic, so this only changes wall-clock speed —
+    /// every fingerprint and metric is identical at any lane count.
+    pub fn fleet_threads(self, n: usize) -> Self {
+        es_sim::fleet::set_threads(n);
+        self
+    }
+
     /// Assembles the system. Applications and speakers with start
     /// delays are scheduled; nothing runs until
     /// [`EsSystem::run_for`]/[`EsSystem::run_until`].

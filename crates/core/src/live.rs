@@ -7,6 +7,14 @@
 //! gates on the first control packet, decodes and collects the audio.
 //! `examples/real_udp.rs` wires both over the loopback interface and
 //! writes what the speaker heard to a WAV file.
+//!
+//! Live mode decodes inline on the receive thread: a real Ethernet
+//! Speaker is one node with one stream, so the fleet executor
+//! (`es_sim::fleet`, sized by [`SystemBuilder::fleet_threads`] or
+//! `ES_FLEET_THREADS`) only shards work when the *simulator* hosts
+//! many speakers in one process.
+//!
+//! [`SystemBuilder::fleet_threads`]: crate::builder::SystemBuilder::fleet_threads
 
 use std::io;
 use std::time::{Duration, Instant};

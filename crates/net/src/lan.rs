@@ -15,10 +15,14 @@
 //! multicast packet at the same time" — §3.2's uniformity assumption —
 //! holds exactly when jitter is zero).
 
+use std::any::Any;
+
 use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use es_sim::random::{chance, normal, GilbertElliott};
-use es_sim::{shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
+use es_sim::{fleet, shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
 use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
 
 /// Identifies a host attached to the LAN.
@@ -269,16 +273,41 @@ impl Telemetry for LanStats {
 
 type RecvHandler = Box<dyn FnMut(&mut Sim, Datagram)>;
 
+/// A deferred unit of pure receive-side work, produced by a node's
+/// preparer (see [`Lan::set_preparer`]). Jobs run on the fleet
+/// executor's worker lanes, so they must be `Send` and must not touch
+/// simulator or node state; the result comes back to the node via
+/// [`Lan::take_prepared`] just before its receive handler runs.
+pub type PrepareJob = fleet::Job;
+
+type Preparer = Box<dyn Fn(&Datagram) -> Option<PrepareJob>>;
+
 struct Node {
     name: String,
     handler: Option<RecvHandler>,
+    /// Builds parallel prepare jobs for incoming datagrams, if set.
+    preparer: Option<Preparer>,
+    /// Result of this delivery's prepare job, staged for the handler.
+    prepared: Option<Box<dyn Any + Send>>,
     groups: Vec<McastGroup>,
     link_busy_until: SimTime,
+    /// This receiver's private impairment RNG stream, seeded lazily
+    /// from the sim seed and the node index. Keeping the draws out of
+    /// the global stream makes each receiver's loss/jitter pattern
+    /// independent of who else is attached and of fan-out order.
+    rng: Option<StdRng>,
     /// Per-receiver Gilbert–Elliott burst-loss chain state.
     burst_chain: GilbertElliott,
     /// While set and in the future, every delivery to this node drops
     /// (its switch port is dark).
     partitioned_until: Option<SimTime>,
+}
+
+/// Derives a node's private RNG stream from the sim seed. SplitMix64's
+/// output finalizer scrambles whatever we feed it, so a simple
+/// golden-ratio mix of the node index suffices.
+fn node_stream_seed(seed: u64, node: u32) -> u64 {
+    seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 struct LanInner {
@@ -329,8 +358,11 @@ impl Lan {
         inner.nodes.push(Node {
             name: name.into(),
             handler: None,
+            preparer: None,
+            prepared: None,
             groups: Vec::new(),
             link_busy_until: SimTime::ZERO,
+            rng: None,
             burst_chain: GilbertElliott::new(),
             partitioned_until: None,
         });
@@ -345,6 +377,28 @@ impl Lan {
     /// Installs (or replaces) the receive handler for `node`.
     pub fn set_handler(&self, node: NodeId, f: impl FnMut(&mut Sim, Datagram) + 'static) {
         self.inner.borrow_mut().nodes[node.0 as usize].handler = Some(Box::new(f));
+    }
+
+    /// Installs (or replaces) the prepare hook for `node`: called on
+    /// the simulation thread for every delivery, it may return a pure
+    /// [`PrepareJob`] (packet parse, codec decode) to run on the fleet
+    /// executor while other receivers of the same instant do the same.
+    /// Returning `None` keeps that delivery entirely serial.
+    pub fn set_preparer(
+        &self,
+        node: NodeId,
+        f: impl Fn(&Datagram) -> Option<PrepareJob> + 'static,
+    ) {
+        self.inner.borrow_mut().nodes[node.0 as usize].preparer = Some(Box::new(f));
+    }
+
+    /// Takes the staged result of this delivery's prepare job, if any.
+    /// Only meaningful from inside the node's receive handler; the
+    /// stage is cleared when the handler returns.
+    pub fn take_prepared(&self, node: NodeId) -> Option<Box<dyn Any + Send>> {
+        self.inner.borrow_mut().nodes[node.0 as usize]
+            .prepared
+            .take()
     }
 
     /// Joins a multicast group — the ES "tuning in" to a channel; no
@@ -540,56 +594,111 @@ impl Lan {
                     .collect(),
             };
 
-            // Per-receiver impairments. Loss is sampled per wire
-            // fragment (independently, or through the receiver's
-            // Gilbert–Elliott chain when burst loss is configured); any
-            // lost fragment fails reassembly and loses the datagram for
-            // that receiver. Surviving deliveries may then be reordered
-            // (held back) or duplicated.
+            // Per-receiver impairments, each sampled from the
+            // *receiver's* private RNG stream so one node's loss and
+            // jitter pattern is independent of the rest of the fleet.
+            // Loss is sampled per wire fragment (independently, or
+            // through the receiver's Gilbert–Elliott chain when burst
+            // loss is configured); any lost fragment fails reassembly
+            // and loses the datagram for that receiver. Surviving
+            // deliveries may then be reordered (held back), jittered,
+            // or duplicated.
             let now = sim.now();
+            let seed = sim.seed();
             let mut kept: Vec<(u32, SimDuration)> = Vec::with_capacity(receivers.len());
             let mut lost = 0u64;
             for r in receivers {
-                if inner.nodes[r as usize]
-                    .partitioned_until
-                    .is_some_and(|until| now < until)
-                {
-                    inner.stats.datagrams_lost += 1;
-                    inner.stats.datagrams_partitioned += 1;
-                    lost += 1;
-                    continue;
+                enum Outcome {
+                    Partitioned,
+                    Lost {
+                        partial: bool,
+                    },
+                    Kept {
+                        offset: SimDuration,
+                        dup_offset: Option<SimDuration>,
+                        reordered: bool,
+                    },
                 }
-                let mut lost_frags = 0usize;
-                for _ in 0..frags {
-                    let frag_lost = match config.burst {
-                        Some(b) => inner.nodes[r as usize].burst_chain.step(
-                            sim.rng(),
-                            b.p_good_to_bad,
-                            b.p_bad_to_good,
-                            b.loss_good,
-                            b.loss_bad,
-                        ),
-                        None => config.loss_prob > 0.0 && chance(sim.rng(), config.loss_prob),
-                    };
-                    lost_frags += frag_lost as usize;
-                }
-                if lost_frags > 0 {
-                    inner.stats.datagrams_lost += 1;
-                    if frags > 1 && lost_frags < frags {
-                        inner.stats.datagrams_lost_partial += 1;
+                let outcome = {
+                    let node = &mut inner.nodes[r as usize];
+                    if node.partitioned_until.is_some_and(|until| now < until) {
+                        Outcome::Partitioned
+                    } else {
+                        let rng = node.rng.get_or_insert_with(|| {
+                            StdRng::seed_from_u64(node_stream_seed(seed, r))
+                        });
+                        let mut lost_frags = 0usize;
+                        for _ in 0..frags {
+                            let frag_lost = match config.burst {
+                                Some(b) => node.burst_chain.step(
+                                    rng,
+                                    b.p_good_to_bad,
+                                    b.p_bad_to_good,
+                                    b.loss_good,
+                                    b.loss_bad,
+                                ),
+                                None => config.loss_prob > 0.0 && chance(rng, config.loss_prob),
+                            };
+                            lost_frags += frag_lost as usize;
+                        }
+                        if lost_frags > 0 {
+                            Outcome::Lost {
+                                partial: frags > 1 && lost_frags < frags,
+                            }
+                        } else {
+                            let mut extra = SimDuration::ZERO;
+                            let mut reordered = false;
+                            if config.reorder_prob > 0.0 && chance(rng, config.reorder_prob) {
+                                extra = config.reorder_delay;
+                                reordered = true;
+                            }
+                            let jitter = |rng: &mut StdRng| {
+                                if config.jitter_std.is_zero() {
+                                    SimDuration::ZERO
+                                } else {
+                                    let ns = normal(rng, 0.0, config.jitter_std.as_nanos() as f64);
+                                    SimDuration::from_nanos(ns.max(0.0) as u64)
+                                }
+                            };
+                            let offset = extra + jitter(rng);
+                            let dup_offset = (config.duplicate_prob > 0.0
+                                && chance(rng, config.duplicate_prob))
+                            .then(|| extra + config.propagation + jitter(rng));
+                            Outcome::Kept {
+                                offset,
+                                dup_offset,
+                                reordered,
+                            }
+                        }
                     }
-                    lost += 1;
-                    continue;
-                }
-                let mut extra = SimDuration::ZERO;
-                if config.reorder_prob > 0.0 && chance(sim.rng(), config.reorder_prob) {
-                    extra = config.reorder_delay;
-                    inner.stats.datagrams_reordered += 1;
-                }
-                kept.push((r, extra));
-                if config.duplicate_prob > 0.0 && chance(sim.rng(), config.duplicate_prob) {
-                    inner.stats.datagrams_duplicated += 1;
-                    kept.push((r, extra + config.propagation));
+                };
+                match outcome {
+                    Outcome::Partitioned => {
+                        inner.stats.datagrams_lost += 1;
+                        inner.stats.datagrams_partitioned += 1;
+                        lost += 1;
+                    }
+                    Outcome::Lost { partial } => {
+                        inner.stats.datagrams_lost += 1;
+                        if partial {
+                            inner.stats.datagrams_lost_partial += 1;
+                        }
+                        lost += 1;
+                    }
+                    Outcome::Kept {
+                        offset,
+                        dup_offset,
+                        reordered,
+                    } => {
+                        if reordered {
+                            inner.stats.datagrams_reordered += 1;
+                        }
+                        kept.push((r, offset));
+                        if let Some(d) = dup_offset {
+                            inner.stats.datagrams_duplicated += 1;
+                            kept.push((r, d));
+                        }
+                    }
                 }
             }
             (done + config.propagation, kept, lost)
@@ -612,36 +721,86 @@ impl Lan {
             }
         }
 
-        for (r, extra) in receivers {
-            let jitter = {
-                let inner = self.inner.borrow();
-                if inner.config.jitter_std.is_zero() {
-                    SimDuration::ZERO
-                } else {
-                    let ns = normal(sim.rng(), 0.0, inner.config.jitter_std.as_nanos() as f64);
-                    SimDuration::from_nanos(ns.max(0.0) as u64)
-                }
-            };
-            let at = deliver_at_base + extra + jitter;
+        // Group deliveries that share an arrival instant into one
+        // batch event: the common case — a zero-jitter multicast to a
+        // whole fleet — becomes a single event whose per-receiver pure
+        // work can fan out across the fleet executor. Distinct arrival
+        // times (jitter, reordering, duplicates) each get their own
+        // singleton batch, preserving the old per-delivery schedule
+        // exactly.
+        let mut batches: Vec<(SimTime, Vec<u32>)> = Vec::new();
+        let mut index: std::collections::HashMap<SimTime, usize> = std::collections::HashMap::new();
+        for (r, offset) in receivers {
+            let at = deliver_at_base + offset;
+            let i = *index.entry(at).or_insert_with(|| {
+                batches.push((at, Vec::new()));
+                batches.len() - 1
+            });
+            batches[i].1.push(r);
+        }
+        for (at, rs) in batches {
             let lan = lan.clone();
             let dg = Datagram {
                 src: from,
                 dst,
                 payload: payload.clone(),
             };
-            sim.schedule_at(at, move |sim| {
-                // Take the handler out so it can borrow the LAN itself.
-                let handler = lan.inner.borrow_mut().nodes[r as usize].handler.take();
-                if let Some(mut h) = handler {
-                    lan.inner.borrow_mut().stats.datagrams_delivered += 1;
-                    h(sim, dg);
-                    let slot = &mut lan.inner.borrow_mut().nodes[r as usize].handler;
-                    // A handler installed during delivery wins.
-                    if slot.is_none() {
-                        *slot = Some(h);
-                    }
+            sim.schedule_at(at, move |sim| lan.deliver_batch(sim, &rs, dg));
+        }
+    }
+
+    /// Delivers one datagram to every receiver of a shared arrival
+    /// instant. Pure per-receiver work (from [`Lan::set_preparer`])
+    /// runs first as one parallel batch on the fleet executor; the
+    /// receive handlers then run serially in receiver order, each
+    /// picking up its staged result. All observable effects happen in
+    /// batch order on the simulation thread, so the outcome is
+    /// bit-identical for any `ES_FLEET_THREADS` value.
+    fn deliver_batch(&self, sim: &mut Sim, rs: &[u32], dg: Datagram) {
+        // Phase 1: collect prepare jobs. The preparer is taken out of
+        // its slot for the call so it may itself borrow the LAN.
+        let mut jobs: Vec<PrepareJob> = Vec::new();
+        let mut job_of: Vec<Option<usize>> = vec![None; rs.len()];
+        for (i, &r) in rs.iter().enumerate() {
+            let preparer = self.inner.borrow_mut().nodes[r as usize].preparer.take();
+            if let Some(p) = preparer {
+                if let Some(job) = p(&dg) {
+                    job_of[i] = Some(jobs.len());
+                    jobs.push(job);
                 }
-            });
+                let mut inner = self.inner.borrow_mut();
+                let slot = &mut inner.nodes[r as usize].preparer;
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+        }
+        // Phase 2: parallel fan-out; results return in job order.
+        let mut results: Vec<Option<Box<dyn Any + Send>>> =
+            fleet::run_batch(jobs).into_iter().map(Some).collect();
+        // Phase 3: serial merge in receiver order.
+        for (i, &r) in rs.iter().enumerate() {
+            let handler = {
+                let mut inner = self.inner.borrow_mut();
+                if let Some(j) = job_of[i] {
+                    inner.nodes[r as usize].prepared = results[j].take();
+                }
+                // Take the handler out so it can borrow the LAN itself.
+                inner.nodes[r as usize].handler.take()
+            };
+            if let Some(mut h) = handler {
+                self.inner.borrow_mut().stats.datagrams_delivered += 1;
+                h(sim, dg.clone());
+                let mut inner = self.inner.borrow_mut();
+                let slot = &mut inner.nodes[r as usize].handler;
+                // A handler installed during delivery wins.
+                if slot.is_none() {
+                    *slot = Some(h);
+                }
+            }
+            // Clear any unconsumed staged result so it cannot leak
+            // into a later, unrelated delivery.
+            self.inner.borrow_mut().nodes[r as usize].prepared = None;
         }
     }
 
@@ -995,7 +1154,7 @@ mod tests {
             let g = McastGroup(0);
             lan.join(b, g);
             let log = collect_deliveries(&lan, b);
-            let n = 4_000u64;
+            let n = 10_000u64;
             for i in 0..n {
                 lan.multicast(&mut sim, a, g, Bytes::from(vec![(i % 251) as u8]));
                 sim.run();
@@ -1143,6 +1302,114 @@ mod tests {
         lan.multicast(&mut sim, a, g, Bytes::from_static(b"p"));
         sim.run();
         assert_eq!(log.borrow().len(), n + 1, "recovery phase delivers again");
+    }
+
+    #[test]
+    fn loss_pattern_is_per_receiver_not_global() {
+        // A receiver's impairment draws come from its own RNG stream:
+        // attaching more speakers must not change which packets an
+        // existing speaker loses.
+        let run = |extra_receivers: usize| -> Vec<u8> {
+            let mut sim = Sim::new(77);
+            let lan = Lan::new(LanConfig::lossy(0.3, SimDuration::ZERO));
+            let a = lan.attach("a");
+            let b = lan.attach("b");
+            let g = McastGroup(0);
+            lan.join(b, g);
+            let log = collect_deliveries(&lan, b);
+            for i in 0..extra_receivers {
+                let n = lan.attach(format!("extra{i}"));
+                lan.join(n, g);
+                let _ = collect_deliveries(&lan, n);
+            }
+            for i in 0..500u64 {
+                lan.multicast(&mut sim, a, g, Bytes::from(vec![(i % 251) as u8]));
+                sim.run();
+            }
+            let got: Vec<u8> = log.borrow().iter().map(|(_, p)| p[0]).collect();
+            got
+        };
+        assert_eq!(run(0), run(7), "fleet size changed b's loss pattern");
+    }
+
+    #[test]
+    fn preparer_results_are_staged_for_the_handler() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let g = McastGroup(3);
+        let sums: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..6 {
+            let node = lan.attach(format!("es{i}"));
+            lan.join(node, g);
+            lan.set_preparer(node, move |dg| {
+                let bytes = dg.payload.to_vec();
+                Some(Box::new(move || {
+                    let sum: u64 = bytes.iter().map(|&b| b as u64).sum();
+                    Box::new(sum + i) as Box<dyn std::any::Any + Send>
+                }))
+            });
+            let l2 = lan.clone();
+            let s = sums.clone();
+            lan.set_handler(node, move |_sim, _dg| {
+                let v = l2
+                    .take_prepared(node)
+                    .expect("prepared result staged")
+                    .downcast::<u64>()
+                    .unwrap();
+                s.borrow_mut().push(*v);
+            });
+        }
+        lan.multicast(&mut sim, a, g, Bytes::from(vec![2u8; 10]));
+        sim.run();
+        // Receiver order, each with its own job's result.
+        assert_eq!(*sums.borrow(), vec![20, 21, 22, 23, 24, 25]);
+    }
+
+    #[test]
+    fn prepared_result_does_not_leak_without_consumption() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let b = lan.attach("b");
+        lan.set_preparer(b, |_dg| {
+            Some(Box::new(|| Box::new(7u32) as Box<dyn std::any::Any + Send>))
+        });
+        // First handler ignores its staged result entirely.
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        lan.set_handler(b, move |_sim, _dg| *h.borrow_mut() += 1);
+        lan.send(&mut sim, a, Dest::Unicast(b), Bytes::from_static(b"x"));
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+        // The stage must be empty outside a delivery.
+        assert!(lan.take_prepared(b).is_none());
+    }
+
+    #[test]
+    fn batch_delivery_preserves_multicast_instant_and_order() {
+        // Same-instant fan-out runs as one batch; handlers still see
+        // one delivery each, in node-index order, at the same time.
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let a = lan.attach("a");
+        let g = McastGroup(1);
+        let order: Rc<RefCell<Vec<(usize, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let node = lan.attach(format!("es{i}"));
+            lan.join(node, g);
+            let o = order.clone();
+            lan.set_handler(node, move |sim, _dg| o.borrow_mut().push((i, sim.now())));
+        }
+        lan.multicast(&mut sim, a, g, Bytes::from_static(b"tick"));
+        sim.run();
+        let order = order.borrow();
+        assert_eq!(
+            order.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(order.iter().all(|&(_, t)| t == order[0].1));
+        assert_eq!(lan.stats().datagrams_delivered, 5);
     }
 
     #[test]

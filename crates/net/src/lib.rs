@@ -17,5 +17,5 @@ pub mod udp;
 
 pub use lan::{
     BurstLossConfig, Datagram, Dest, Lan, LanConfig, LanStats, McastGroup, MediumMode, NodeId,
-    WIRE_OVERHEAD,
+    PrepareJob, WIRE_OVERHEAD,
 };

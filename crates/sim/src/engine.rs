@@ -74,6 +74,7 @@ pub struct Sim {
     cancelled: HashSet<u64>,
     next_seq: u64,
     rng: StdRng,
+    seed: u64,
     processed: u64,
 }
 
@@ -86,6 +87,7 @@ impl Sim {
             cancelled: HashSet::new(),
             next_seq: 0,
             rng: StdRng::seed_from_u64(seed),
+            seed,
             processed: 0,
         }
     }
@@ -93,6 +95,14 @@ impl Sim {
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The seed this simulator was created with. Components that keep
+    /// their own derived RNG streams (e.g. per-node network
+    /// impairments) mix this with a stable component index so their
+    /// draws are independent of global event interleaving.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The seeded RNG; all simulated randomness must come from here.

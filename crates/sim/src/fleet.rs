@@ -1,0 +1,496 @@
+//! The fleet executor: a persistent worker pool for parallel
+//! per-speaker work inside a simulation tick.
+//!
+//! The paper's speakers are fully independent receivers (§2.3) — each
+//! decodes the same multicast stream with no cross-speaker state — so
+//! the per-speaker work of one delivery instant is embarrassingly
+//! parallel. The executor exploits that while keeping the simulation
+//! bit-deterministic:
+//!
+//! - **Only pure work is offloaded.** A job is a `FnOnce` with no
+//!   access to simulator state; it computes a value (packet parse +
+//!   codec decode) from `Send` inputs and returns it. All stateful
+//!   mutation — stats, RNG draws, CPU billing, journal writes,
+//!   scheduling — stays on the simulation thread.
+//! - **Results merge in submission order.** [`run_batch`] returns
+//!   outputs indexed exactly like its inputs, so the caller consumes
+//!   them in speaker-index order regardless of which worker finished
+//!   first. A run with 1 thread is bit-identical to a run with 8.
+//! - **Stable lane assignment.** Job `i` of a batch always runs on
+//!   lane `i % threads`; lane 0 is the caller itself, lanes `1..n` are
+//!   the pool workers. Thread-local scratch (per-worker codec
+//!   workspaces) therefore sees a stable job stream for a fixed thread
+//!   count.
+//!
+//! The pool is process-global and lazy: the first batch spawns the
+//! workers, later batches reuse them, and changing the thread count
+//! (via [`set_threads`] or `ES_FLEET_THREADS`) retires the old pool
+//! and builds a fresh one. Batches of fewer than two jobs — and any
+//! batch when the executor is configured single-threaded — run inline
+//! on the caller with no synchronization at all.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of pure work: runs on an arbitrary pool lane and returns an
+/// arbitrary `Send` value for the caller to downcast.
+pub type Job = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// One batch entry handed to a worker: the job, its index in the
+/// batch, and the channel the indexed result (plus the job's execution
+/// time in nanoseconds, for work/span accounting) goes back on.
+type WorkItem = (usize, Job, Sender<(usize, ThreadResult, u64)>);
+
+type ThreadResult = std::thread::Result<Box<dyn Any + Send>>;
+
+struct Worker {
+    tx: Sender<WorkItem>,
+    handle: JoinHandle<()>,
+}
+
+struct PoolState {
+    /// Spawned workers (lanes `1..threads`); empty when inline.
+    workers: Vec<Worker>,
+    /// Thread count the current pool was built for.
+    built_for: usize,
+}
+
+/// `set_threads` override; 0 = unset (fall back to env / hardware).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
+
+fn pool() -> &'static Mutex<PoolState> {
+    POOL.get_or_init(|| {
+        Mutex::new(PoolState {
+            workers: Vec::new(),
+            built_for: 1,
+        })
+    })
+}
+
+/// The effective worker-lane count: a [`set_threads`] override wins,
+/// then the `ES_FLEET_THREADS` environment variable, then the
+/// machine's available parallelism.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("ES_FLEET_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Pins the lane count for this process, overriding the environment.
+/// `set_threads(0)` clears the override. The pool itself is rebuilt
+/// lazily on the next batch.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Per-job execution times collected across batches while
+/// [`record_timing`] is on (the fleet bench uses it; the simulation
+/// itself never reads clocks).
+///
+/// `batches[b][i]` is the nanoseconds job `i` of batch `b` took, in
+/// submission order. Because lane assignment is the fixed rule
+/// `i % lanes`, the cost of running the same batches at *any* lane
+/// count can be computed from one measurement: [`span_ns`] folds the
+/// per-job times into each lane's busy time and takes the per-batch
+/// maximum (the critical path). Collect the durations on a single
+/// lane — an oversubscribed host preempts worker threads mid-job and
+/// inflates their measured times, so an uncontended run is the only
+/// trustworthy source.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetTiming {
+    /// Per-batch, per-job execution nanoseconds in submission order.
+    pub batches: Vec<Vec<u64>>,
+}
+
+impl FleetTiming {
+    /// The *work*: summed execution time of every job, in ns.
+    pub fn work_ns(&self) -> u64 {
+        self.batches.iter().flatten().sum()
+    }
+
+    /// The *span* at `lanes` lanes: per batch, the busiest lane's
+    /// summed job time under the `i % lanes` assignment rule, in ns.
+    /// This is what the parallel phases cost in wall time once every
+    /// lane has a real core under it.
+    pub fn span_ns(&self, lanes: usize) -> u64 {
+        let lanes = lanes.max(1);
+        let mut busy = vec![0u64; lanes];
+        let mut span = 0u64;
+        for batch in &self.batches {
+            busy.iter_mut().for_each(|b| *b = 0);
+            // Batches the executor would run inline stay on one lane.
+            if batch.len() < 2 {
+                busy[0] = batch.iter().sum();
+            } else {
+                for (i, &ns) in batch.iter().enumerate() {
+                    busy[i % lanes] += ns;
+                }
+            }
+            span += busy.iter().copied().max().unwrap_or(0);
+        }
+        span
+    }
+}
+
+static TIMING_ON: AtomicBool = AtomicBool::new(false);
+static TIMING: Mutex<FleetTiming> = Mutex::new(FleetTiming {
+    batches: Vec::new(),
+});
+
+/// Turns per-job timing collection on or off for subsequent batches.
+pub fn record_timing(on: bool) {
+    TIMING_ON.store(on, Ordering::Relaxed);
+}
+
+/// Returns the timing collected since the last take, and resets it.
+pub fn take_timing() -> FleetTiming {
+    std::mem::take(&mut *TIMING.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+fn accumulate_timing(job_ns: Vec<u64>) {
+    TIMING
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .batches
+        .push(job_ns);
+}
+
+fn spawn_worker(lane: usize) -> Worker {
+    let (tx, rx): (Sender<WorkItem>, Receiver<WorkItem>) = channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("es-fleet-{lane}"))
+        .spawn(move || {
+            while let Ok((idx, job, out)) = rx.recv() {
+                let start = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                let spent = start.elapsed().as_nanos() as u64;
+                // The batch may have already unwound on the caller
+                // side; a dead result channel is not our problem.
+                let _ = out.send((idx, result, spent));
+            }
+        })
+        .expect("spawn fleet worker");
+    Worker { tx, handle }
+}
+
+fn ensure_pool(state: &mut PoolState, want: usize) {
+    if state.built_for == want && (want <= 1 || !state.workers.is_empty()) {
+        return;
+    }
+    // Retire the old pool: dropping the senders ends each worker's
+    // recv loop; join so thread-local scratch is torn down before the
+    // replacement lanes appear.
+    for w in state.workers.drain(..) {
+        drop(w.tx);
+        let _ = w.handle.join();
+    }
+    if want > 1 {
+        state.workers = (1..want).map(spawn_worker).collect();
+    }
+    state.built_for = want;
+}
+
+/// Runs a batch of independent jobs and returns their results in
+/// submission order.
+///
+/// Job `i` runs on lane `i % threads()`; lane 0 is the calling thread.
+/// With one lane (or fewer than two jobs) everything runs inline. If
+/// any job panics, the panic is re-raised on the caller after the
+/// batch drains.
+pub fn run_batch(jobs: Vec<Job>) -> Vec<Box<dyn Any + Send>> {
+    let n = threads();
+    let timing = TIMING_ON.load(Ordering::Relaxed);
+    if n <= 1 || jobs.len() < 2 {
+        if !timing {
+            return jobs.into_iter().map(|j| j()).collect();
+        }
+        let mut job_ns = Vec::with_capacity(jobs.len());
+        let out: Vec<_> = jobs
+            .into_iter()
+            .map(|j| {
+                let start = Instant::now();
+                let r = j();
+                job_ns.push(start.elapsed().as_nanos() as u64);
+                r
+            })
+            .collect();
+        if !out.is_empty() {
+            accumulate_timing(job_ns);
+        }
+        return out;
+    }
+
+    let guard = pool().lock().unwrap_or_else(|e| e.into_inner());
+    let mut state = guard;
+    ensure_pool(&mut state, n);
+
+    let total = jobs.len();
+    let (res_tx, res_rx) = channel::<(usize, ThreadResult, u64)>();
+    let mut local: Vec<(usize, Job)> = Vec::new();
+    let mut remote = 0usize;
+    for (i, job) in jobs.into_iter().enumerate() {
+        let lane = i % n;
+        if lane == 0 {
+            local.push((i, job));
+        } else {
+            state.workers[lane - 1]
+                .tx
+                .send((i, job, res_tx.clone()))
+                .expect("fleet worker hung up");
+            remote += 1;
+        }
+    }
+    drop(res_tx);
+
+    let mut job_ns = vec![0u64; total];
+    let mut results: Vec<Option<ThreadResult>> = (0..total).map(|_| None).collect();
+    // Lane 0 is the caller: run its share while the workers chew.
+    for (i, job) in local {
+        let start = Instant::now();
+        results[i] = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)));
+        job_ns[i] = start.elapsed().as_nanos() as u64;
+    }
+    for _ in 0..remote {
+        let (i, r, spent) = res_rx.recv().expect("fleet worker died mid-batch");
+        job_ns[i] = spent;
+        results[i] = Some(r);
+    }
+    drop(state);
+    if timing {
+        accumulate_timing(job_ns);
+    }
+
+    results
+        .into_iter()
+        .map(|r| match r.expect("every job produced a result") {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// The pool and the override are process-global, and Rust runs
+    /// tests in parallel threads; serialize the tests that touch them.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for n in [1usize, 2, 4, 8] {
+            with_threads(n, || {
+                let jobs: Vec<Job> = (0..64u64)
+                    .map(|i| {
+                        Box::new(move || {
+                            // Stagger so fast jobs finish before slow
+                            // earlier ones; order must still hold.
+                            if i.is_multiple_of(3) {
+                                std::thread::yield_now();
+                            }
+                            Box::new(i * i) as Box<dyn Any + Send>
+                        }) as Job
+                    })
+                    .collect();
+                let out = run_batch(jobs);
+                let vals: Vec<u64> = out
+                    .into_iter()
+                    .map(|b| *b.downcast::<u64>().unwrap())
+                    .collect();
+                let want: Vec<u64> = (0..64).map(|i| i * i).collect();
+                assert_eq!(vals, want, "threads={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn set_threads_overrides_environment() {
+        with_threads(3, || assert_eq!(threads(), 3));
+    }
+
+    #[test]
+    fn zero_clears_override() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(5);
+        assert_eq!(threads(), 5);
+        set_threads(0);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn single_job_runs_inline_on_caller() {
+        with_threads(8, || {
+            let caller = std::thread::current().id();
+            let out = run_batch(vec![Box::new(move || {
+                Box::new(std::thread::current().id() == caller) as Box<dyn Any + Send>
+            }) as Job]);
+            assert!(*out[0].downcast_ref::<bool>().unwrap());
+        });
+    }
+
+    #[test]
+    fn work_actually_lands_on_multiple_threads() {
+        with_threads(4, || {
+            let ids: &'static Mutex<Vec<std::thread::ThreadId>> = Box::leak(Box::default());
+            let jobs: Vec<Job> = (0..16)
+                .map(|_| {
+                    Box::new(move || {
+                        ids.lock().unwrap().push(std::thread::current().id());
+                        Box::new(()) as Box<dyn Any + Send>
+                    }) as Job
+                })
+                .collect();
+            run_batch(jobs);
+            let seen: std::collections::HashSet<_> = ids.lock().unwrap().iter().copied().collect();
+            assert_eq!(seen.len(), 4, "expected all 4 lanes used");
+        });
+    }
+
+    #[test]
+    fn pool_persists_worker_thread_locals_across_batches() {
+        thread_local! {
+            static CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        }
+        with_threads(2, || {
+            let run = || {
+                let jobs: Vec<Job> = (0..4)
+                    .map(|_| {
+                        Box::new(|| {
+                            let prior = CALLS.with(|c| {
+                                let v = c.get();
+                                c.set(v + 1);
+                                v
+                            });
+                            Box::new(prior) as Box<dyn Any + Send>
+                        }) as Job
+                    })
+                    .collect();
+                run_batch(jobs)
+                    .into_iter()
+                    .map(|b| *b.downcast::<u64>().unwrap())
+                    .sum::<u64>()
+            };
+            let first = run();
+            let second = run();
+            // Second batch sees the first batch's counters: the worker
+            // threads (and their thread-locals) survived.
+            assert!(second > first, "{second} vs {first}");
+        });
+    }
+
+    #[test]
+    fn job_panic_propagates_to_caller() {
+        with_threads(2, || {
+            let counted: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+            let res = std::panic::catch_unwind(|| {
+                let jobs: Vec<Job> = (0..4)
+                    .map(|i| {
+                        Box::new(move || {
+                            if i == 1 {
+                                panic!("boom");
+                            }
+                            counted.fetch_add(1, Ordering::Relaxed);
+                            Box::new(()) as Box<dyn Any + Send>
+                        }) as Job
+                    })
+                    .collect();
+                run_batch(jobs);
+            });
+            assert!(res.is_err(), "panic must surface");
+        });
+    }
+
+    #[test]
+    fn timing_accounts_work_and_span() {
+        with_threads(2, || {
+            record_timing(true);
+            take_timing(); // discard anything a prior test accumulated
+            let jobs: Vec<Job> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        // Enough work to register on the monotonic clock.
+                        let mut acc = 0u64;
+                        for i in 0..50_000u64 {
+                            acc = acc.wrapping_add(i * i);
+                        }
+                        Box::new(acc) as Box<dyn Any + Send>
+                    }) as Job
+                })
+                .collect();
+            run_batch(jobs);
+            let t = take_timing();
+            record_timing(false);
+            assert_eq!(t.batches.len(), 1);
+            assert_eq!(t.batches[0].len(), 4, "one duration per job");
+            assert!(t.batches[0].iter().all(|&ns| ns > 0));
+            // One lane holds everything; more lanes can only shrink
+            // the span, never below the largest single job.
+            assert_eq!(t.span_ns(1), t.work_ns());
+            assert!(t.span_ns(2) <= t.work_ns());
+            assert!(t.span_ns(2) >= *t.batches[0].iter().max().unwrap());
+            assert_eq!(take_timing(), FleetTiming::default(), "take resets");
+        });
+    }
+
+    #[test]
+    fn span_folds_jobs_by_lane_assignment() {
+        let t = FleetTiming {
+            batches: vec![vec![10, 20, 30, 40], vec![5]],
+        };
+        assert_eq!(t.work_ns(), 105);
+        // Two lanes: jobs 0,2 vs 1,3 -> max(40, 60) = 60; the
+        // single-job batch runs inline on one lane.
+        assert_eq!(t.span_ns(2), 60 + 5);
+        // Four lanes: busiest is job 3 alone.
+        assert_eq!(t.span_ns(4), 40 + 5);
+        assert_eq!(t.span_ns(1), 105);
+    }
+
+    #[test]
+    fn timing_off_accumulates_nothing() {
+        with_threads(2, || {
+            record_timing(false);
+            take_timing();
+            let jobs: Vec<Job> = (0..4)
+                .map(|_| Box::new(|| Box::new(()) as Box<dyn Any + Send>) as Job)
+                .collect();
+            run_batch(jobs);
+            assert!(take_timing().batches.is_empty());
+        });
+    }
+
+    #[test]
+    fn env_parsing_ignores_garbage() {
+        // Can't portably mutate the environment mid-test; exercise the
+        // parse path shape instead.
+        assert!("not-a-number".trim().parse::<usize>().is_err());
+        assert_eq!("  4 ".trim().parse::<usize>().ok(), Some(4));
+    }
+}

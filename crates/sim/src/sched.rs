@@ -16,6 +16,7 @@
 //! [`TimeSeries`] ready for the Figure 5 harness.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::engine::{shared, Shared, Sim};
 use crate::random::exponential;
@@ -40,9 +41,12 @@ pub enum TaskKind {
     Interrupt,
 }
 
+/// The name is an interned `Arc<str>`: Figure 5 harnesses clone the
+/// whole scheduler per configuration, and a `String` name made every
+/// clone (and the derived `Clone` of each `Task`) allocate.
 #[derive(Debug, Clone)]
 struct Task {
-    name: String,
+    name: Arc<str>,
     kind: TaskKind,
     dispatches: u64,
 }
@@ -76,8 +80,9 @@ impl KernelSched {
         }
     }
 
-    /// Registers a task and returns its id.
-    pub fn register(&mut self, name: impl Into<String>, kind: TaskKind) -> TaskId {
+    /// Registers a task and returns its id. The name is interned once;
+    /// `&'static str` and `Arc<str>` arguments do not allocate.
+    pub fn register(&mut self, name: impl Into<Arc<str>>, kind: TaskKind) -> TaskId {
         self.tasks.push(Task {
             name: name.into(),
             kind,
@@ -319,6 +324,15 @@ mod tests {
         let series = RefCell::into_inner(sched).finish(until);
         let mean = series.mean().unwrap();
         assert!((mean - 4.2).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn cloned_scheds_share_interned_task_names() {
+        let mut s = KernelSched::new(SimDuration::from_secs(1));
+        let a = s.register("vad-kthread", TaskKind::KernelThread);
+        let c = s.clone();
+        // `Arc<str>` interning: the clone points at the same bytes.
+        assert_eq!(s.task_name(a).as_ptr(), c.task_name(a).as_ptr());
     }
 
     #[test]

@@ -133,6 +133,10 @@ pub struct SpeakerStats {
     /// played — LAN duplicates, or an FEC copy of a packet that also
     /// arrived on its own.
     pub dropped_duplicate: u64,
+    /// Times the device playback grid was flushed and re-anchored to
+    /// the stream clock (§3.2's "throwing away data up until the
+    /// current wall time").
+    pub playback_resyncs: u64,
 }
 
 impl Telemetry for SpeakerStats {
@@ -151,7 +155,8 @@ impl Telemetry for SpeakerStats {
             .counter("dropped_busy", self.dropped_busy)
             .counter("concealed_packets", self.concealed_packets)
             .counter("fec_recovered", self.fec_recovered)
-            .counter("dropped_duplicate", self.dropped_duplicate);
+            .counter("dropped_duplicate", self.dropped_duplicate)
+            .counter("playback_resyncs", self.playback_resyncs);
     }
 }
 
@@ -162,10 +167,60 @@ enum Phase {
     Playing,
 }
 
+/// A payload decoded ahead of time on a fleet-executor lane: the
+/// `(codec, channels)` snapshot the worker used, plus the result. The
+/// consumer only trusts it when the snapshot still matches the
+/// speaker's live stream state; otherwise it re-decodes serially, so
+/// the parallel path can never produce different audio than the
+/// serial one.
+type PreDecoded = (CodecId, u8, Result<(Vec<i16>, u64), es_codec::CodecError>);
+
+/// What a speaker's prepare job hands back through the LAN's staging
+/// slot: the parse (with CRC check) of the raw datagram, the decoded
+/// payload for data packets, and a token tying the result to the
+/// datagram it came from.
+struct PreparedRx {
+    /// Address of the source payload's backing buffer; guards against
+    /// a stale staged result being applied to the wrong datagram.
+    token: usize,
+    parsed: Result<Packet, es_proto::WireError>,
+    decoded: Option<PreDecoded>,
+}
+
+/// Per-worker-lane codec engines — the "per-speaker scratch
+/// workspaces" of the fleet design. `OvlCodec` keeps its MDCT scratch
+/// in a `RefCell`, so engines cannot be shared across lanes; each lane
+/// lazily builds one per cost model and reuses it for every batch
+/// (the fleet pool keeps its threads alive between batches).
+fn lane_decode(
+    model: es_codec::CostModel,
+    codec: CodecId,
+    bytes: &[u8],
+    channels: u8,
+) -> Result<(Vec<i16>, u64), es_codec::CodecError> {
+    thread_local! {
+        static LANE_CODECS: std::cell::RefCell<Vec<(es_codec::CostModel, Codecs)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    LANE_CODECS.with(|cell| {
+        let mut engines = cell.borrow_mut();
+        if !engines.iter().any(|(m, _)| *m == model) {
+            engines.push((model, Codecs::with_cost_model(model)));
+        }
+        let (_, c) = engines
+            .iter()
+            .find(|(m, _)| *m == model)
+            .expect("just inserted");
+        c.decode(codec, bytes, channels)
+    })
+}
+
 struct Pending {
     payload: bytes::Bytes,
     codec_wire: u8,
     deadline: es_sim::SimTime,
+    /// Result of the parallel pre-decode, when one ran for this packet.
+    pre: Option<PreDecoded>,
 }
 
 struct SpkState {
@@ -260,6 +315,8 @@ impl EthernetSpeaker {
         };
         let s2 = spk.clone();
         lan.set_handler(node, move |sim, dg| s2.on_datagram(sim, dg));
+        let s4 = spk.clone();
+        lan.set_preparer(node, move |dg| s4.prepare(dg));
         // Auto-volume control loop, 4 Hz.
         if spk.state.borrow().autovol.is_some() {
             let s3 = spk.clone();
@@ -393,8 +450,54 @@ impl EthernetSpeaker {
             .counter("quality_duplicates", report.duplicates);
     }
 
+    /// Builds this delivery's pure prepare job for the fleet executor:
+    /// packet parse + CRC, and for data packets during playback the
+    /// codec decode, all against a `(codec, channels)` snapshot taken
+    /// now on the simulation thread. Declines (fully serial delivery)
+    /// when stream authentication is active — the verifier must see
+    /// packets in order before anything may be parsed as trusted.
+    fn prepare(&self, dg: &Datagram) -> Option<es_net::PrepareJob> {
+        let (codec, channels, playing, model) = {
+            let st = self.state.borrow();
+            if st.verifier.is_some() {
+                return None;
+            }
+            (
+                st.codec,
+                st.stream_cfg.channels,
+                matches!(st.phase, Phase::Playing),
+                st.cfg.cost_model,
+            )
+        };
+        let payload = dg.payload.clone();
+        let token = payload.as_ptr() as usize;
+        Some(Box::new(move || {
+            let parsed = es_proto::decode(&payload);
+            let decoded = match &parsed {
+                Ok(Packet::Data(d)) if playing => {
+                    let wire = CodecId::from_wire(d.codec).unwrap_or(codec);
+                    let result = lane_decode(model, wire, &d.payload, channels);
+                    Some((codec, channels, result))
+                }
+                _ => None,
+            };
+            Box::new(PreparedRx {
+                token,
+                parsed,
+                decoded,
+            }) as Box<dyn std::any::Any + Send>
+        }))
+    }
+
     fn on_datagram(&self, sim: &mut Sim, dg: Datagram) {
         self.state.borrow_mut().stats.datagrams += 1;
+        // Pick up this delivery's pre-computed parse/decode, if the
+        // batch path ran one for us.
+        let pre = self
+            .lan
+            .take_prepared(self.node)
+            .and_then(|b| b.downcast::<PreparedRx>().ok())
+            .filter(|p| p.token == dg.payload.as_ptr() as usize);
         let raw = dg.payload.as_ref();
         let has_verifier = self.state.borrow().verifier.is_some();
         if has_verifier {
@@ -418,20 +521,24 @@ impl EthernetSpeaker {
             for msg in released {
                 self.handle_packet(sim, &msg);
             }
+        } else if let Some(pre) = pre {
+            match pre.parsed {
+                Ok(pkt) => self.handle_packet_parsed(sim, pkt, pre.decoded),
+                Err(_) => self.state.borrow_mut().stats.bad_packets += 1,
+            }
         } else {
-            let raw = raw.to_vec();
-            self.handle_packet(sim, &raw);
+            self.handle_packet(sim, raw);
         }
     }
 
     fn handle_packet(&self, sim: &mut Sim, bytes: &[u8]) {
-        let pkt = match es_proto::decode(bytes) {
-            Ok(p) => p,
-            Err(_) => {
-                self.state.borrow_mut().stats.bad_packets += 1;
-                return;
-            }
-        };
+        match es_proto::decode(bytes) {
+            Ok(pkt) => self.handle_packet_parsed(sim, pkt, None),
+            Err(_) => self.state.borrow_mut().stats.bad_packets += 1,
+        }
+    }
+
+    fn handle_packet_parsed(&self, sim: &mut Sim, pkt: Packet, pre: Option<PreDecoded>) {
         match pkt {
             Packet::Control(c) => self.on_control(sim, c),
             Packet::Data(d) => {
@@ -448,10 +555,10 @@ impl EthernetSpeaker {
                     .fec
                     .as_mut()
                     .and_then(|f| f.on_data(&d));
-                self.on_data(sim, d);
+                self.on_data(sim, d, pre);
                 if let Some(r) = recovered {
                     self.state.borrow_mut().stats.fec_recovered += 1;
-                    self.on_data(sim, r);
+                    self.on_data(sim, r, None);
                 }
             }
             Packet::Parity(p) => {
@@ -464,7 +571,7 @@ impl EthernetSpeaker {
                 };
                 if let Some(r) = recovered {
                     self.state.borrow_mut().stats.fec_recovered += 1;
-                    self.on_data(sim, r);
+                    self.on_data(sim, r, None);
                 }
             }
             Packet::Announce(_) => { /* catalog handled by es-core's browser */ }
@@ -493,7 +600,7 @@ impl EthernetSpeaker {
         }
     }
 
-    fn on_data(&self, sim: &mut Sim, d: es_proto::DataPacket) {
+    fn on_data(&self, sim: &mut Sim, d: es_proto::DataPacket, pre: Option<PreDecoded>) {
         // §2.3: no control packet yet means the stream cannot be
         // decoded — wait, do not guess.
         let deadline = {
@@ -569,6 +676,7 @@ impl EthernetSpeaker {
             payload: d.payload,
             codec_wire: d.codec,
             deadline,
+            pre,
         };
         let serial_depth = self.state.borrow().cfg.serial_queue_depth;
         match serial_depth {
@@ -599,14 +707,31 @@ impl EthernetSpeaker {
     }
 
     /// Decodes a pending packet, billing the CPU model; returns the
-    /// samples and the (possibly future) completion time.
-    fn decode_pending(&self, sim: &mut Sim, p: &Pending) -> Option<(Vec<i16>, es_sim::SimTime)> {
+    /// samples and the (possibly future) completion time. A parallel
+    /// pre-decode is consumed only while its `(codec, channels)`
+    /// snapshot still matches the live stream state (a control packet
+    /// can reconfigure the stream while a packet sits in the serial
+    /// queue); otherwise the payload is re-decoded here.
+    fn decode_pending(
+        &self,
+        sim: &mut Sim,
+        p: &mut Pending,
+    ) -> Option<(Vec<i16>, es_sim::SimTime)> {
         let (codec, channels) = {
             let st = self.state.borrow();
             (st.codec, st.stream_cfg.channels)
         };
-        let wire_codec = CodecId::from_wire(p.codec_wire).unwrap_or(codec);
-        let decoded = self.codecs.decode(wire_codec, &p.payload, channels);
+        let decoded = match p.pre.take() {
+            Some((snap_codec, snap_channels, result))
+                if snap_codec == codec && snap_channels == channels =>
+            {
+                result
+            }
+            _ => {
+                let wire_codec = CodecId::from_wire(p.codec_wire).unwrap_or(codec);
+                self.codecs.decode(wire_codec, &p.payload, channels)
+            }
+        };
         let (samples, work) = match decoded {
             Ok(x) => x,
             Err(_) => {
@@ -629,8 +754,8 @@ impl EthernetSpeaker {
 
     /// The default pipelined path: every packet decodes independently
     /// and is scheduled at its deadline.
-    fn process_pipelined(&self, sim: &mut Sim, p: Pending) {
-        let Some((samples, decoded_at)) = self.decode_pending(sim, &p) else {
+    fn process_pipelined(&self, sim: &mut Sim, mut p: Pending) {
+        let Some((samples, decoded_at)) = self.decode_pending(sim, &mut p) else {
             return;
         };
         {
@@ -648,8 +773,8 @@ impl EthernetSpeaker {
 
     /// The §3.4 single-threaded path: decode, sleep to the deadline,
     /// then a blocking write; only then is the next packet considered.
-    fn process_serial(&self, sim: &mut Sim, p: Pending) {
-        let Some((samples, decoded_at)) = self.decode_pending(sim, &p) else {
+    fn process_serial(&self, sim: &mut Sim, mut p: Pending) {
+        let Some((samples, decoded_at)) = self.decode_pending(sim, &mut p) else {
             self.finish_serial(sim);
             return;
         };
@@ -735,13 +860,63 @@ impl EthernetSpeaker {
         match decide(deadline, sim.now(), epsilon) {
             PlayDecision::Sleep(d) => {
                 let spk = self.clone();
-                sim.schedule_in(d, move |sim| spk.write_out(sim, samples));
+                sim.schedule_in(d, move |sim| spk.write_out_resync(sim, samples));
             }
             PlayDecision::PlayNow => self.write_out(sim, samples),
             PlayDecision::Discard { .. } => {
                 self.note_late_drop(sim, deadline);
             }
         }
+    }
+
+    /// §3.2's catch-up rule applied to the device timeline: "throwing
+    /// away data up until the current wall time".
+    ///
+    /// The card block-quantizes writes onto a DMA grid whose phase is
+    /// fixed at the first `trigger_output` — which the speaker issued
+    /// using its *initial* clock snap. If that first control packet
+    /// was itself delayed, the grid is permanently late: once the
+    /// clock estimate improves, deadline-paced writes merely wait
+    /// longer for the next boundary while the audible timeline stays
+    /// exactly as late as the anchor was. So when a block has slept to
+    /// its deadline and would still start more than epsilon late on
+    /// the current grid, flush and re-trigger the device so the grid
+    /// re-anchors at this deadline. The audio between the old and new
+    /// anchors is thrown away — the paper's catch-up rule. (The
+    /// unpaced PlayNow path keeps §3.1 overflow semantics: blocks
+    /// arriving in a burst drop at the full ring, not here.)
+    fn write_out_resync(&self, sim: &mut Sim, samples: Vec<i16>) {
+        let epsilon = self.state.borrow().cfg.epsilon;
+        // This block's projected start: wait for the next DMA boundary,
+        // then behind whatever the ring already holds.
+        let boundary_wait = self
+            .dev
+            .next_block_start(sim.now())
+            .map_or(SimDuration::ZERO, |b| b.saturating_since(sim.now()));
+        let queued = SimDuration::from_nanos(
+            self.dev
+                .config()
+                .nanos_for_bytes(self.dev.stats().ring_occupancy as u64),
+        );
+        let lateness = boundary_wait + queued;
+        if lateness > epsilon {
+            self.dev.restart_output(sim);
+            let mut st = self.state.borrow_mut();
+            st.stats.playback_resyncs += 1;
+            if let Some(j) = st.journal.clone() {
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Debug,
+                    "speaker",
+                    "playback grid resynced to stream clock",
+                    &[
+                        ("speaker", st.cfg.name.clone()),
+                        ("late_us", lateness.as_micros().to_string()),
+                    ],
+                );
+            }
+        }
+        self.write_out(sim, samples);
     }
 
     /// Records how early (or late: slack 0) a block reached the play

@@ -39,15 +39,22 @@ impl ClockSync {
     }
 
     /// Absorbs a control packet received at local time `local_now`
-    /// carrying `producer_time_us`. The first observation snaps; later
-    /// ones are smoothed (EWMA, 1/8 weight) so one delayed control
-    /// packet cannot yank playback.
+    /// carrying `producer_time_us`.
+    ///
+    /// Transit and queueing can only make a control packet *late*, so
+    /// the observed `local - producer` difference is always the true
+    /// offset plus a non-negative delay. The estimator therefore keeps
+    /// the minimum observation ever seen (the NTP lower-bound filter):
+    /// the fastest control packet so far is the tightest bound on the
+    /// true offset, and a delayed one — even the very first, if the
+    /// network held it back — is corrected by the next packet that
+    /// arrives on time and can never yank playback later again.
     pub fn on_control(&mut self, local_now: SimTime, producer_time_us: u64) {
         let observed = local_now.as_micros() as i64 - producer_time_us as i64;
         self.samples += 1;
         self.offset_us = Some(match self.offset_us {
             None => observed,
-            Some(prev) => prev + (observed - prev) / 8,
+            Some(prev) => prev.min(observed),
         });
     }
 
@@ -122,15 +129,26 @@ mod tests {
     }
 
     #[test]
-    fn smoothing_resists_outliers() {
+    fn delayed_control_cannot_raise_the_offset() {
         let mut cs = ClockSync::new();
         cs.on_control(SimTime::from_secs(10), 3_000_000);
-        // An outlier control packet delayed by 80 ms.
+        // An outlier control packet delayed by 80 ms observes a larger
+        // offset; the minimum filter ignores it outright.
         cs.on_control(SimTime::from_micros(10_580_000), 3_500_000);
-        let off = cs.offset_us().unwrap();
-        // True offset 7s; outlier observed 7.08s; EWMA moves 1/8 of it.
-        assert_eq!(off, 7_010_000);
+        assert_eq!(cs.offset_us(), Some(7_000_000));
         assert_eq!(cs.samples(), 2);
+    }
+
+    #[test]
+    fn delayed_first_control_is_corrected_by_a_faster_one() {
+        let mut cs = ClockSync::new();
+        // First control held back 70 ms by the network: the snap is
+        // 70 ms too high.
+        cs.on_control(SimTime::from_micros(10_070_000), 3_000_000);
+        assert_eq!(cs.offset_us(), Some(7_070_000));
+        // The next on-time control tightens the bound to the truth.
+        cs.on_control(SimTime::from_micros(10_500_000), 3_500_000);
+        assert_eq!(cs.offset_us(), Some(7_000_000));
     }
 
     #[test]

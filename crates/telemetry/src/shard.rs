@@ -1,0 +1,238 @@
+//! Shard-local telemetry buffers with a deterministic merge.
+//!
+//! The fleet executor (`es_sim::fleet`) runs per-speaker work on
+//! worker lanes. Lanes must not contend on one shared [`Journal`] —
+//! and, worse, interleaving their writes would make the journal's
+//! sequence numbers depend on thread scheduling, breaking the
+//! bit-identical-at-any-lane-count guarantee. Instead each lane
+//! records into its own [`ShardBuffer`]; when the batch completes the
+//! coordinator calls [`merge_shards`], which folds the buffers in
+//! *shard-index* order (submission order, never completion order).
+//! The merged output is therefore a pure function of the work
+//! submitted, independent of `ES_FLEET_THREADS`.
+//!
+//! Merge semantics per metric kind follow the registry's own rules:
+//! counters add, histograms pool their buckets, gauges are last-write
+//! -wins where "last" means the highest shard index — a deterministic
+//! stand-in for "most recent".
+
+use crate::journal::{Event, Journal, Severity, Stamp};
+use crate::metrics::{MetricValue, Registry, Scope};
+
+/// One worker lane's private telemetry: a registry plus buffered
+/// journal events. `Send` (no shared interior state), so it can ride
+/// into a fleet job and back out with the result.
+#[derive(Debug)]
+pub struct ShardBuffer {
+    shard: usize,
+    registry: Registry,
+    events: Vec<Event>,
+}
+
+impl ShardBuffer {
+    /// An empty buffer for shard `shard` (its submission index, which
+    /// fixes its position in the merge order).
+    pub fn new(shard: usize) -> Self {
+        ShardBuffer {
+            shard,
+            registry: Registry::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The submission index this buffer merges at.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Sets the instance label for subsequently recorded metrics,
+    /// mirroring [`Registry::set_instance`].
+    pub fn set_instance(&mut self, instance: &str) {
+        self.registry.set_instance(instance);
+    }
+
+    /// Opens a metric recording scope, mirroring
+    /// [`Registry::component`].
+    pub fn component(&mut self, component: &str) -> Scope<'_> {
+        self.registry.component(component)
+    }
+
+    /// Buffers a journal event. The sequence number is assigned at
+    /// merge time, not here — a shard cannot know how many events the
+    /// shards before it recorded.
+    pub fn emit(
+        &mut self,
+        stamp: Stamp,
+        severity: Severity,
+        component: &str,
+        message: &str,
+        fields: &[(&str, String)],
+    ) {
+        self.events.push(Event {
+            seq: 0,
+            stamp,
+            severity,
+            component: component.to_string(),
+            message: message.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.registry.is_empty()
+    }
+}
+
+/// Folds shard buffers into a shared registry and journal.
+///
+/// Buffers are sorted by shard index first, so the caller may pass
+/// them in completion order (or any order): the result is identical.
+/// Within a shard, events keep their recording order; across shards,
+/// lower indices come first. The journal assigns its own contiguous
+/// sequence numbers as events are replayed.
+pub fn merge_shards(mut shards: Vec<ShardBuffer>, registry: &mut Registry, journal: &Journal) {
+    shards.sort_by_key(|s| s.shard);
+    for shard in shards {
+        for metric in shard.registry.snapshot().iter() {
+            registry.set_instance(&metric.key.instance);
+            let mut scope = registry.component(&metric.key.component);
+            match &metric.value {
+                MetricValue::Counter(c) => {
+                    scope.counter(&metric.key.name, *c);
+                }
+                MetricValue::Gauge(g) => {
+                    scope.gauge(&metric.key.name, *g);
+                }
+                MetricValue::Histogram(h) => {
+                    scope.histogram(&metric.key.name, h);
+                }
+            }
+        }
+        for ev in shard.events {
+            let fields: Vec<(&str, String)> = ev
+                .fields
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.clone()))
+                .collect();
+            journal.emit(ev.stamp, ev.severity, &ev.component, &ev.message, &fields);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(shard: usize, played: u64) -> ShardBuffer {
+        let mut b = ShardBuffer::new(shard);
+        b.set_instance(&format!("es{shard}"));
+        b.component("speaker")
+            .counter("samples_played", played)
+            .observe("decode_ns", 100 * (shard as u64 + 1));
+        b.emit(
+            Stamp::virtual_ns(1_000 * shard as u64),
+            Severity::Debug,
+            "speaker",
+            "shard done",
+            &[("shard", shard.to_string())],
+        );
+        b
+    }
+
+    #[test]
+    fn counters_add_across_shards_on_one_instance() {
+        let mut a = ShardBuffer::new(0);
+        a.component("net").counter("packets", 3);
+        let mut b = ShardBuffer::new(1);
+        b.component("net").counter("packets", 4);
+        let mut reg = Registry::new();
+        merge_shards(vec![a, b], &mut reg, &Journal::new());
+        assert_eq!(reg.snapshot().counter("net/0/packets"), Some(7));
+    }
+
+    #[test]
+    fn merge_is_independent_of_completion_order() {
+        let journal_fwd = Journal::new();
+        let mut reg_fwd = Registry::new();
+        merge_shards(
+            (0..4).map(|i| buffer(i, 10 + i as u64)).collect(),
+            &mut reg_fwd,
+            &journal_fwd,
+        );
+
+        let journal_rev = Journal::new();
+        let mut reg_rev = Registry::new();
+        merge_shards(
+            (0..4).rev().map(|i| buffer(i, 10 + i as u64)).collect(),
+            &mut reg_rev,
+            &journal_rev,
+        );
+
+        assert_eq!(
+            reg_fwd.snapshot().to_json_lines(),
+            reg_rev.snapshot().to_json_lines()
+        );
+        assert_eq!(journal_fwd.to_json_lines(), journal_rev.to_json_lines());
+    }
+
+    #[test]
+    fn events_are_renumbered_in_shard_order() {
+        let journal = Journal::new();
+        let mut reg = Registry::new();
+        merge_shards(
+            vec![buffer(2, 1), buffer(0, 1), buffer(1, 1)],
+            &mut reg,
+            &journal,
+        );
+        let events = journal.events();
+        assert_eq!(events.len(), 3);
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(
+                ev.fields.get("shard").map(String::as_str),
+                Some(i.to_string()).as_deref()
+            );
+        }
+    }
+
+    #[test]
+    fn gauge_last_write_is_highest_shard() {
+        let mut a = ShardBuffer::new(0);
+        a.component("dev").gauge("volume", 0.25);
+        let mut b = ShardBuffer::new(1);
+        b.component("dev").gauge("volume", 0.75);
+        let mut reg = Registry::new();
+        // Passed backwards: the sort must still let shard 1 win.
+        merge_shards(vec![b, a], &mut reg, &Journal::new());
+        assert_eq!(reg.snapshot().gauge("dev/0/volume"), Some(0.75));
+    }
+
+    #[test]
+    fn histograms_pool_their_samples() {
+        let mut a = ShardBuffer::new(0);
+        a.component("speaker").observe("lat", 8);
+        let mut b = ShardBuffer::new(1);
+        b.component("speaker").observe("lat", 8_000);
+        let mut reg = Registry::new();
+        merge_shards(vec![a, b], &mut reg, &Journal::new());
+        let snap = reg.snapshot();
+        let h = snap.histogram("speaker/0/lat").expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 8_008);
+    }
+
+    #[test]
+    fn shard_buffer_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ShardBuffer>();
+    }
+}

@@ -14,7 +14,7 @@
 use std::rc::{Rc, Weak};
 
 use es_audio::{AudioConfig, ConfigError};
-use es_sim::{shared, Shared, Sim, SimDuration};
+use es_sim::{shared, Shared, Sim, SimDuration, SimTime};
 
 use crate::ring::AudioRing;
 
@@ -94,6 +94,15 @@ pub trait LowLevelDriver {
     /// "modification of the independent audio driver" (§3.3).
     fn wants_block_ready_calls(&self) -> bool {
         false
+    }
+
+    /// The instant the next DMA block will start playing, if the
+    /// engine is running and that instant is after `now`. `None` means
+    /// newly written audio starts immediately (engine idle, paused, or
+    /// at a block boundary). Drivers without a modelled DMA grid keep
+    /// the default.
+    fn next_block_start(&self, _now: SimTime) -> Option<SimTime> {
+        None
     }
 
     /// Per-block notification, only delivered when
@@ -346,6 +355,30 @@ impl AudioDevice {
     /// Free bytes in the ring.
     pub fn writable_bytes(&self) -> usize {
         self.inner.borrow().ring.free()
+    }
+
+    /// The instant audio written right now would start playing, if the
+    /// underlying engine is running and block-quantizes writes to a
+    /// DMA grid; `None` means playback would start immediately.
+    pub fn next_block_start(&self, now: SimTime) -> Option<SimTime> {
+        self.low.borrow().next_block_start(now)
+    }
+
+    /// The modelled `AUDIO_FLUSH` + re-trigger: discards all buffered
+    /// audio, halts the engine, and arms the device so the next
+    /// complete block written re-triggers output anchored at that
+    /// write. This is how a player realigns the card's playback grid
+    /// with a corrected stream clock (§3.2 resynchronization).
+    pub fn restart_output(&self, sim: &mut Sim) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.open {
+                return;
+            }
+            inner.ring.flush();
+            inner.triggered = false;
+        }
+        self.low.borrow_mut().halt_output(sim);
     }
 
     /// A [`BlockSource`] over this device's ring.

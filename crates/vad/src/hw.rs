@@ -96,6 +96,13 @@ struct HwState {
     tap: Shared<OutputTap>,
     wake_hook: Option<WakeHook>,
     blocks_played: u64,
+    /// When the next DMA block will leave for the DAC — the earliest
+    /// instant newly written audio can start playing while the engine
+    /// runs (writes land block-quantized on this grid).
+    next_boundary: SimTime,
+    /// Bumped on every `trigger_output` so a completion event from a
+    /// halted engine cannot resurrect its loop after a re-trigger.
+    epoch: u64,
 }
 
 /// The low-level driver for the simulated card.
@@ -118,6 +125,8 @@ impl HwDriver {
                     tap: tap.clone(),
                     wake_hook: None,
                     blocks_played: 0,
+                    next_boundary: SimTime::ZERO,
+                    epoch: 0,
                 }),
             },
             tap,
@@ -137,11 +146,12 @@ impl HwDriver {
     fn schedule_dma(state: Shared<HwState>, sim: &mut Sim) {
         // One block leaves for the DAC now; the completion interrupt
         // fires one block-duration later, when the DAC needs the next.
-        let (block, cfg, dur) = {
+        let (block, cfg, dur, epoch) = {
             let mut st = state.borrow_mut();
             if !st.running || st.paused {
                 return;
             }
+            let epoch = st.epoch;
             let src = st.src.clone().expect("running implies triggered");
             let cfg = match src.config() {
                 Some(c) => c,
@@ -161,7 +171,7 @@ impl HwDriver {
             }
             // Hardware must always be fed: silence-fill on underrun.
             let block = src.take_block(true).unwrap_or_default();
-            (block, cfg, dur)
+            (block, cfg, dur, epoch)
         };
         if block.is_empty() {
             return;
@@ -171,11 +181,18 @@ impl HwDriver {
             let samples = decode_samples(&block, cfg.encoding);
             st.tap.borrow_mut().blocks.push((sim.now(), cfg, samples));
         }
-        state.borrow_mut().blocks_played += 1;
+        {
+            let mut st = state.borrow_mut();
+            st.blocks_played += 1;
+            st.next_boundary = sim.now() + dur;
+        }
         let state2 = state.clone();
         sim.schedule_in(dur, move |sim| {
-            if !state2.borrow().running {
-                return;
+            {
+                let st = state2.borrow();
+                if !st.running || st.epoch != epoch {
+                    return;
+                }
             }
             // Fire the wake hook (context-switch accounting) with the
             // hook taken out of the cell so it may borrow state itself.
@@ -214,6 +231,7 @@ impl LowLevelDriver for HwDriver {
             st.idle_blocks = 0;
             st.src = Some(src);
             st.intr = Some(intr);
+            st.epoch += 1;
         }
         Self::schedule_dma(self.state.clone(), sim);
     }
@@ -228,6 +246,17 @@ impl LowLevelDriver for HwDriver {
 
     fn wants_block_ready_calls(&self) -> bool {
         true
+    }
+
+    fn next_block_start(&self, now: SimTime) -> Option<SimTime> {
+        let st = self.state.borrow();
+        if st.running && !st.paused && st.next_boundary > now {
+            Some(st.next_boundary)
+        } else {
+            // Idle, paused, or at a boundary instant: a write starts
+            // (or restarts) the engine immediately.
+            None
+        }
     }
 
     fn block_ready(&mut self, sim: &mut Sim) {

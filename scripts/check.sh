@@ -29,6 +29,13 @@ cargo test --workspace -q
 echo "== perf_hotpath smoke (ES_BENCH_QUICK=1)"
 ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench perf_hotpath
 
+# Fleet-scaling smoke: the fleet bench sweeps speaker counts at 1/2/4
+# decode lanes and writes BENCH_PR4.json. Like perf_hotpath, the binary
+# exits non-zero if any metric is zero/NaN or the report fails to parse
+# back, so this step fails on a broken fleet path or a malformed report.
+echo "== fleet smoke (ES_BENCH_QUICK=1)"
+ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench fleet
+
 # Chaos determinism gate: the conformance suite already runs every
 # scenario twice in-process; here the whole suite runs twice in
 # separate processes with a pinned seed, and the telemetry fingerprints
@@ -39,6 +46,17 @@ ES_CHAOS_SEED=7 ES_CHAOS_FP_DIR=target/chaos-a cargo test -q --test chaos
 ES_CHAOS_SEED=7 ES_CHAOS_FP_DIR=target/chaos-b cargo test -q --test chaos
 diff -r target/chaos-a target/chaos-b || {
     echo "chaos suite is nondeterministic: fingerprints differ between identical runs" >&2
+    exit 1
+}
+
+# Fleet determinism gate: the same suite again with the decode fleet
+# pinned to 4 lanes. Sharded decode must be inaudible — the telemetry
+# fingerprints must match the single-lane runs above byte for byte.
+echo "== chaos determinism (ES_FLEET_THREADS=4)"
+rm -rf target/chaos-fleet
+ES_FLEET_THREADS=4 ES_CHAOS_SEED=7 ES_CHAOS_FP_DIR=target/chaos-fleet cargo test -q --test chaos
+diff -r target/chaos-a target/chaos-fleet || {
+    echo "fleet execution is audible: fingerprints differ between 1 and 4 decode lanes" >&2
     exit 1
 }
 

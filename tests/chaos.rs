@@ -8,7 +8,7 @@
 //! streaming 5 virtual seconds, two or three speakers, a 7-second run,
 //! probes bracketing each fault phase.
 
-use es_chaos::{conformance, Fault, Scenario};
+use es_chaos::{conformance, Fault, Scenario, Trace};
 use es_net::LanConfig;
 use es_sim::SimDuration;
 
@@ -34,333 +34,407 @@ fn offsets_within(probe: &es_chaos::Probe, ms: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Gilbert–Elliott bursts at ~8% long-run fragment loss, mean burst
+/// of 8 fragments. PLC conceals the gaps; playback never stalls and
+/// the speakers stay aligned.
+fn burst_loss_scenario() -> Scenario {
+    Scenario::new("burst_loss", 42)
+        .lan(LanConfig::bursty(0.08, 8.0))
+        .clicks()
+        .conceal_loss()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .probe(SimDuration::from_secs(5))
+        .check("bursts-actually-dropped", |t| {
+            let m = &t.final_probe().metrics;
+            let dropped = m.counter("net/lan0/frames_dropped").unwrap_or(0);
+            if dropped == 0 {
+                return Err("burst model dropped nothing".into());
+            }
+            Ok(())
+        })
+        .check("speakers-keep-playing", |t| {
+            let m = &t.final_probe().metrics;
+            for spk in ["es0", "es1"] {
+                let played = m
+                    .counter(&format!("speaker/{spk}/samples_played"))
+                    .unwrap_or(0);
+                // 5 s of CD stereo is 441 000 interleaved samples;
+                // demand at least 80% despite the bursts.
+                if played < 350_000 {
+                    return Err(format!("{spk} played only {played} samples"));
+                }
+            }
+            Ok(())
+        })
+        .check("gaps-concealed", |t| {
+            let concealed = t
+                .final_probe()
+                .metrics
+                .sum_counters("speaker", "concealed_packets");
+            if concealed == 0 {
+                return Err("PLC never engaged under burst loss".into());
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
+}
+
 #[test]
 fn burst_loss() {
-    // Gilbert–Elliott bursts at ~8% long-run fragment loss, mean burst
-    // of 8 fragments. PLC conceals the gaps; playback never stalls and
-    // the speakers stay aligned.
-    conformance(
-        &Scenario::new("burst_loss", 42)
-            .lan(LanConfig::bursty(0.08, 8.0))
-            .clicks()
-            .conceal_loss()
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .probe(SimDuration::from_secs(5))
-            .check("bursts-actually-dropped", |t| {
-                let m = &t.final_probe().metrics;
-                let dropped = m.counter("net/lan0/frames_dropped").unwrap_or(0);
-                if dropped == 0 {
-                    return Err("burst model dropped nothing".into());
-                }
-                Ok(())
-            })
-            .check("speakers-keep-playing", |t| {
-                let m = &t.final_probe().metrics;
-                for spk in ["es0", "es1"] {
-                    let played = m
-                        .counter(&format!("speaker/{spk}/samples_played"))
-                        .unwrap_or(0);
-                    // 5 s of CD stereo is 441 000 interleaved samples;
-                    // demand at least 80% despite the bursts.
-                    if played < 350_000 {
-                        return Err(format!("{spk} played only {played} samples"));
-                    }
-                }
-                Ok(())
-            })
-            .check("gaps-concealed", |t| {
-                let concealed = t
-                    .final_probe()
-                    .metrics
-                    .sum_counters("speaker", "concealed_packets");
-                if concealed == 0 {
-                    return Err("PLC never engaged under burst loss".into());
-                }
-                Ok(())
-            })
-            .check("speakers-in-sync", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            }),
-    );
+    conformance(&burst_loss_scenario());
+}
+
+/// 20% of deliveries held back 70 ms — past the 50 ms packet
+/// spacing (so sequence numbers genuinely invert at the speakers)
+/// yet well inside the 200 ms playout delay, so reordering must
+/// cost nothing: no deadline misses, no lost audio.
+fn reorder_scenario() -> Scenario {
+    Scenario::new("reorder", 43)
+        .lan(LanConfig::reordering(0.2, SimDuration::from_millis(70)))
+        .clicks()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .probe(SimDuration::from_secs(5))
+        .check("reordering-happened", |t| {
+            let m = &t.final_probe().metrics;
+            if m.counter("net/lan0/frames_reordered").unwrap_or(0) == 0 {
+                return Err("no deliveries were reordered".into());
+            }
+            let seen = m.sum_counters("speaker", "quality_reordered");
+            if seen == 0 {
+                return Err("speakers never observed out-of-order arrival".into());
+            }
+            Ok(())
+        })
+        .check("playout-delay-absorbs-it", |t| {
+            let m = &t.final_probe().metrics;
+            let late = m.sum_counters("speaker", "deadline_misses");
+            if late > 0 {
+                return Err(format!("{late} deadline misses from 30 ms holds"));
+            }
+            if m.counter("net/lan0/frames_dropped").unwrap_or(0) > 0 {
+                return Err("reorderer must never drop".into());
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
 }
 
 #[test]
 fn reorder() {
-    // 20% of deliveries held back 70 ms — past the 50 ms packet
-    // spacing (so sequence numbers genuinely invert at the speakers)
-    // yet well inside the 200 ms playout delay, so reordering must
-    // cost nothing: no deadline misses, no lost audio.
-    conformance(
-        &Scenario::new("reorder", 43)
-            .lan(LanConfig::reordering(0.2, SimDuration::from_millis(70)))
-            .clicks()
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .probe(SimDuration::from_secs(5))
-            .check("reordering-happened", |t| {
-                let m = &t.final_probe().metrics;
-                if m.counter("net/lan0/frames_reordered").unwrap_or(0) == 0 {
-                    return Err("no deliveries were reordered".into());
+    conformance(&reorder_scenario());
+}
+
+/// Half of all deliveries are duplicated. The speakers' sequence
+/// filter must make the storm inaudible: every timestamp plays
+/// exactly once.
+fn duplicate_storm_scenario() -> Scenario {
+    Scenario::new("duplicate_storm", 44)
+        .lan(LanConfig::duplicating(0.5))
+        .clicks()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .probe(SimDuration::from_secs(5))
+        .check("storm-happened", |t| {
+            let m = &t.final_probe().metrics;
+            if m.counter("net/lan0/frames_duplicated").unwrap_or(0) == 0 {
+                return Err("no duplicates were created".into());
+            }
+            Ok(())
+        })
+        .check("every-copy-suppressed", |t| {
+            let m = &t.final_probe().metrics;
+            let produced = m.counter("rebroadcast/ch0/data_packets").unwrap_or(0);
+            for spk in ["es0", "es1"] {
+                let dup = m
+                    .counter(&format!("speaker/{spk}/dropped_duplicate"))
+                    .unwrap_or(0);
+                if dup == 0 {
+                    return Err(format!("{spk} never saw a duplicate"));
                 }
-                let seen = m.sum_counters("speaker", "quality_reordered");
-                if seen == 0 {
-                    return Err("speakers never observed out-of-order arrival".into());
+                let played = m
+                    .counter(&format!("speaker/{spk}/data_packets"))
+                    .unwrap_or(0);
+                if played > produced {
+                    return Err(format!(
+                        "{spk} played {played} packets but only {produced} were produced"
+                    ));
                 }
-                Ok(())
-            })
-            .check("playout-delay-absorbs-it", |t| {
-                let m = &t.final_probe().metrics;
-                let late = m.sum_counters("speaker", "deadline_misses");
-                if late > 0 {
-                    return Err(format!("{late} deadline misses from 30 ms holds"));
+            }
+            Ok(())
+        })
+        .check("no-doubled-audio", |t| {
+            let m = &t.final_probe().metrics;
+            // 5 s of CD stereo = 441 000 interleaved samples; a
+            // doubled packet would push a speaker past the total.
+            for spk in ["es0", "es1"] {
+                let played = m
+                    .counter(&format!("speaker/{spk}/samples_played"))
+                    .unwrap_or(0);
+                if played > 441_100 {
+                    return Err(format!("{spk} played {played} samples — duplicates leaked"));
                 }
-                if m.counter("net/lan0/frames_dropped").unwrap_or(0) > 0 {
-                    return Err("reorderer must never drop".into());
-                }
-                Ok(())
-            })
-            .check("speakers-in-sync", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            }),
-    );
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
 }
 
 #[test]
 fn duplicate_storm() {
-    // Half of all deliveries are duplicated. The speakers' sequence
-    // filter must make the storm inaudible: every timestamp plays
-    // exactly once.
-    conformance(
-        &Scenario::new("duplicate_storm", 44)
-            .lan(LanConfig::duplicating(0.5))
-            .clicks()
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .probe(SimDuration::from_secs(5))
-            .check("storm-happened", |t| {
-                let m = &t.final_probe().metrics;
-                if m.counter("net/lan0/frames_duplicated").unwrap_or(0) == 0 {
-                    return Err("no duplicates were created".into());
+    conformance(&duplicate_storm_scenario());
+}
+
+/// Speaker 1 goes dark from 1.5 s to 3 s. While partitioned its
+/// deliveries drop; after the heal it must resync within epsilon and
+/// the drop counters must stop growing.
+fn partition_and_heal_scenario() -> Scenario {
+    Scenario::new("partition_and_heal", 45)
+        .clicks()
+        .speakers(3)
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .at(
+            SimDuration::from_millis(1_500),
+            Fault::PartitionSpeaker {
+                speaker: 1,
+                duration: SimDuration::from_millis(1_500),
+            },
+        )
+        .probe(SimDuration::from_millis(3_500))
+        .probe(SimDuration::from_secs(5))
+        .check("partition-dropped-traffic", |t| {
+            let m = &t.final_probe().metrics;
+            let part = m.counter("net/lan0/frames_partitioned").unwrap_or(0);
+            if part == 0 {
+                return Err("partition window dropped nothing".into());
+            }
+            Ok(())
+        })
+        .check("drops-stop-after-heal", |t| {
+            let mid = t.probe_at(SimDuration::from_millis(3_500)).unwrap();
+            let end = t.final_probe();
+            let grew = end
+                .metrics
+                .counter_delta(&mid.metrics, "net/lan0/frames_partitioned")
+                .unwrap();
+            if grew > 0 {
+                return Err(format!("{grew} partitioned drops after the heal"));
+            }
+            let dropped = end
+                .metrics
+                .counter_delta(&mid.metrics, "net/lan0/frames_dropped")
+                .unwrap();
+            if dropped > 0 {
+                return Err(format!("frames_dropped kept growing: +{dropped}"));
+            }
+            Ok(())
+        })
+        .check("partitioned-speaker-recovers", |t| {
+            let mid = t.probe_at(SimDuration::from_millis(3_500)).unwrap();
+            let end = t.final_probe();
+            let caught_up = end
+                .metrics
+                .counter_delta(&mid.metrics, "speaker/es1/datagrams")
+                .unwrap();
+            if caught_up == 0 {
+                return Err("speaker es1 heard nothing after the heal".into());
+            }
+            Ok(())
+        })
+        .check("resynced-within-epsilon", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
+        .check("journal-records-the-window", |t| {
+            for needle in ["receiver partitioned", "receiver partition healed"] {
+                if !t.journal_lines.contains(needle) {
+                    return Err(format!("journal missing {needle:?}"));
                 }
-                Ok(())
-            })
-            .check("every-copy-suppressed", |t| {
-                let m = &t.final_probe().metrics;
-                let produced = m.counter("rebroadcast/ch0/data_packets").unwrap_or(0);
-                for spk in ["es0", "es1"] {
-                    let dup = m
-                        .counter(&format!("speaker/{spk}/dropped_duplicate"))
-                        .unwrap_or(0);
-                    if dup == 0 {
-                        return Err(format!("{spk} never saw a duplicate"));
-                    }
-                    let played = m
-                        .counter(&format!("speaker/{spk}/data_packets"))
-                        .unwrap_or(0);
-                    if played > produced {
-                        return Err(format!(
-                            "{spk} played {played} packets but only {produced} were produced"
-                        ));
-                    }
-                }
-                Ok(())
-            })
-            .check("no-doubled-audio", |t| {
-                let m = &t.final_probe().metrics;
-                // 5 s of CD stereo = 441 000 interleaved samples; a
-                // doubled packet would push a speaker past the total.
-                for spk in ["es0", "es1"] {
-                    let played = m
-                        .counter(&format!("speaker/{spk}/samples_played"))
-                        .unwrap_or(0);
-                    if played > 441_100 {
-                        return Err(format!("{spk} played {played} samples — duplicates leaked"));
-                    }
-                }
-                Ok(())
-            })
-            .check("speakers-in-sync", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            }),
-    );
+            }
+            Ok(())
+        })
 }
 
 #[test]
 fn partition_and_heal() {
-    // Speaker 1 goes dark from 1.5 s to 3 s. While partitioned its
-    // deliveries drop; after the heal it must resync within epsilon and
-    // the drop counters must stop growing.
-    conformance(
-        &Scenario::new("partition_and_heal", 45)
-            .clicks()
-            .speakers(3)
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .at(
-                SimDuration::from_millis(1_500),
-                Fault::PartitionSpeaker {
-                    speaker: 1,
-                    duration: SimDuration::from_millis(1_500),
-                },
-            )
-            .probe(SimDuration::from_millis(3_500))
-            .probe(SimDuration::from_secs(5))
-            .check("partition-dropped-traffic", |t| {
-                let m = &t.final_probe().metrics;
-                let part = m.counter("net/lan0/frames_partitioned").unwrap_or(0);
-                if part == 0 {
-                    return Err("partition window dropped nothing".into());
+    conformance(&partition_and_heal_scenario());
+}
+
+/// The rebroadcaster dies at 1.5 s and comes back at 3 s: a control
+/// packet gap on top of a data gap. Speakers must resume playback
+/// and realign from the restart's immediate control packet.
+fn producer_restart_scenario() -> Scenario {
+    Scenario::new("producer_restart", 46)
+        .clicks()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .at(
+            SimDuration::from_millis(1_500),
+            Fault::CrashProducer { channel: 0 },
+        )
+        .at(
+            SimDuration::from_secs(3),
+            Fault::RestartProducer { channel: 0 },
+        )
+        .probe(SimDuration::from_secs(3))
+        .probe(SimDuration::from_secs(5))
+        .check("crash-recorded", |t| {
+            let m = &t.final_probe().metrics;
+            if m.counter("rebroadcast/ch0/crashes") != Some(1) {
+                return Err("exactly one crash expected".into());
+            }
+            if m.counter("rebroadcast/ch0/crash_dropped_blocks")
+                .unwrap_or(0)
+                == 0
+            {
+                return Err("the outage dropped no audio blocks".into());
+            }
+            for needle in ["rebroadcaster crashed", "rebroadcaster restarted"] {
+                if !t.journal_lines.contains(needle) {
+                    return Err(format!("journal missing {needle:?}"));
                 }
-                Ok(())
-            })
-            .check("drops-stop-after-heal", |t| {
-                let mid = t.probe_at(SimDuration::from_millis(3_500)).unwrap();
-                let end = t.final_probe();
-                let grew = end
-                    .metrics
-                    .counter_delta(&mid.metrics, "net/lan0/frames_partitioned")
-                    .unwrap();
-                if grew > 0 {
-                    return Err(format!("{grew} partitioned drops after the heal"));
-                }
-                let dropped = end
-                    .metrics
-                    .counter_delta(&mid.metrics, "net/lan0/frames_dropped")
-                    .unwrap();
-                if dropped > 0 {
-                    return Err(format!("frames_dropped kept growing: +{dropped}"));
-                }
-                Ok(())
-            })
-            .check("partitioned-speaker-recovers", |t| {
-                let mid = t.probe_at(SimDuration::from_millis(3_500)).unwrap();
-                let end = t.final_probe();
-                let caught_up = end
-                    .metrics
-                    .counter_delta(&mid.metrics, "speaker/es1/datagrams")
-                    .unwrap();
-                if caught_up == 0 {
-                    return Err("speaker es1 heard nothing after the heal".into());
-                }
-                Ok(())
-            })
-            .check("resynced-within-epsilon", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            })
-            .check("journal-records-the-window", |t| {
-                for needle in ["receiver partitioned", "receiver partition healed"] {
-                    if !t.journal_lines.contains(needle) {
-                        return Err(format!("journal missing {needle:?}"));
+            }
+            Ok(())
+        })
+        .check("stream-resumes", |t| {
+            let down = t.probe_at(SimDuration::from_secs(3)).unwrap();
+            let end = t.final_probe();
+            for name in ["data_packets", "control_packets"] {
+                for spk in ["es0", "es1"] {
+                    let path = format!("speaker/{spk}/{name}");
+                    let delta = end.metrics.counter_delta(&down.metrics, &path).unwrap();
+                    if delta == 0 {
+                        return Err(format!("{path} froze after the restart"));
                     }
                 }
-                Ok(())
-            }),
-    );
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync-after-restart", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
 }
 
 #[test]
 fn producer_restart() {
-    // The rebroadcaster dies at 1.5 s and comes back at 3 s: a control
-    // packet gap on top of a data gap. Speakers must resume playback
-    // and realign from the restart's immediate control packet.
-    conformance(
-        &Scenario::new("producer_restart", 46)
-            .clicks()
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .at(
-                SimDuration::from_millis(1_500),
-                Fault::CrashProducer { channel: 0 },
-            )
-            .at(
-                SimDuration::from_secs(3),
-                Fault::RestartProducer { channel: 0 },
-            )
-            .probe(SimDuration::from_secs(3))
-            .probe(SimDuration::from_secs(5))
-            .check("crash-recorded", |t| {
-                let m = &t.final_probe().metrics;
-                if m.counter("rebroadcast/ch0/crashes") != Some(1) {
-                    return Err("exactly one crash expected".into());
+    conformance(&producer_restart_scenario());
+}
+
+/// A clean LAN develops 5 ms Gaussian jitter mid-run, then calms
+/// down — two scheduled LanConfig transitions. The 200 ms playout
+/// delay must swallow the spike: zero deadline misses throughout.
+fn jitter_spike_scenario() -> Scenario {
+    Scenario::new("jitter_spike", 47)
+        .clicks()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .at(
+            SimDuration::from_millis(1_500),
+            Fault::Lan(LanConfig::lossy(0.0, SimDuration::from_millis(5))),
+        )
+        .at(
+            SimDuration::from_millis(3_500),
+            Fault::Lan(LanConfig::default()),
+        )
+        .probe(SimDuration::from_secs(5))
+        .check("transitions-journaled", |t| {
+            let n = t.journal_lines.matches("lan configuration changed").count();
+            if n != 2 {
+                return Err(format!("{n} config transitions journaled, wanted 2"));
+            }
+            Ok(())
+        })
+        .check("no-audio-lost-to-jitter", |t| {
+            let m = &t.final_probe().metrics;
+            let late = m.sum_counters("speaker", "deadline_misses");
+            if late > 0 {
+                return Err(format!("{late} deadline misses from a 5 ms spike"));
+            }
+            for spk in ["es0", "es1"] {
+                let played = m
+                    .counter(&format!("speaker/{spk}/samples_played"))
+                    .unwrap_or(0);
+                if played < 430_000 {
+                    return Err(format!("{spk} played only {played} samples"));
                 }
-                if m.counter("rebroadcast/ch0/crash_dropped_blocks")
-                    .unwrap_or(0)
-                    == 0
-                {
-                    return Err("the outage dropped no audio blocks".into());
-                }
-                for needle in ["rebroadcaster crashed", "rebroadcaster restarted"] {
-                    if !t.journal_lines.contains(needle) {
-                        return Err(format!("journal missing {needle:?}"));
-                    }
-                }
-                Ok(())
-            })
-            .check("stream-resumes", |t| {
-                let down = t.probe_at(SimDuration::from_secs(3)).unwrap();
-                let end = t.final_probe();
-                for name in ["data_packets", "control_packets"] {
-                    for spk in ["es0", "es1"] {
-                        let path = format!("speaker/{spk}/{name}");
-                        let delta = end.metrics.counter_delta(&down.metrics, &path).unwrap();
-                        if delta == 0 {
-                            return Err(format!("{path} froze after the restart"));
-                        }
-                    }
-                }
-                Ok(())
-            })
-            .check("speakers-in-sync-after-restart", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            }),
-    );
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync", |t| {
+            offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
+        })
 }
 
 #[test]
 fn jitter_spike() {
-    // A clean LAN develops 5 ms Gaussian jitter mid-run, then calms
-    // down — two scheduled LanConfig transitions. The 200 ms playout
-    // delay must swallow the spike: zero deadline misses throughout.
-    conformance(
-        &Scenario::new("jitter_spike", 47)
-            .clicks()
-            .stream_for(STREAM)
-            .run_for(RUN)
-            .at(
-                SimDuration::from_millis(1_500),
-                Fault::Lan(LanConfig::lossy(0.0, SimDuration::from_millis(5))),
-            )
-            .at(
-                SimDuration::from_millis(3_500),
-                Fault::Lan(LanConfig::default()),
-            )
-            .probe(SimDuration::from_secs(5))
-            .check("transitions-journaled", |t| {
-                let n = t.journal_lines.matches("lan configuration changed").count();
-                if n != 2 {
-                    return Err(format!("{n} config transitions journaled, wanted 2"));
+    conformance(&jitter_spike_scenario());
+}
+
+/// The fleet executor's determinism contract, asserted end to end:
+/// every chaos scenario must be *inaudible to the thread count*. The
+/// same seed on 1, 2 and 4 decode lanes has to produce bit-identical
+/// audio fingerprints and identical per-speaker `samples_played` —
+/// parallelism is allowed to change wall-clock time and nothing else.
+/// Reproduce a failure with e.g.
+/// `ES_FLEET_THREADS=4 cargo test --test chaos -- fleet_thread_count`.
+#[test]
+fn fleet_thread_count_is_inaudible() {
+    let scenarios = [
+        burst_loss_scenario(),
+        reorder_scenario(),
+        duplicate_storm_scenario(),
+        partition_and_heal_scenario(),
+        producer_restart_scenario(),
+        jitter_spike_scenario(),
+    ];
+    for sc in &scenarios {
+        let mut baseline: Option<(Trace, Vec<(String, u64)>)> = None;
+        for threads in [1usize, 2, 4] {
+            es_sim::fleet::set_threads(threads);
+            let trace = sc.run();
+            let played: Vec<(String, u64)> = trace
+                .final_probe()
+                .metrics
+                .iter()
+                .filter(|m| m.key.component == "speaker" && m.key.name == "samples_played")
+                .map(|m| {
+                    let count = match m.value {
+                        es_telemetry::MetricValue::Counter(c) => c,
+                        ref other => panic!("samples_played is {}", other.kind()),
+                    };
+                    (m.key.instance.clone(), count)
+                })
+                .collect();
+            assert!(
+                !played.is_empty(),
+                "{}: probe saw no speakers",
+                trace.repro()
+            );
+            match &baseline {
+                None => baseline = Some((trace, played)),
+                Some((base, base_played)) => {
+                    assert_eq!(
+                        base.fingerprint(),
+                        trace.fingerprint(),
+                        "{}: fingerprint diverges between 1 and {threads} threads",
+                        trace.repro(),
+                    );
+                    assert_eq!(
+                        base_played,
+                        &played,
+                        "{}: samples_played diverges between 1 and {threads} threads",
+                        trace.repro(),
+                    );
                 }
-                Ok(())
-            })
-            .check("no-audio-lost-to-jitter", |t| {
-                let m = &t.final_probe().metrics;
-                let late = m.sum_counters("speaker", "deadline_misses");
-                if late > 0 {
-                    return Err(format!("{late} deadline misses from a 5 ms spike"));
-                }
-                for spk in ["es0", "es1"] {
-                    let played = m
-                        .counter(&format!("speaker/{spk}/samples_played"))
-                        .unwrap_or(0);
-                    if played < 430_000 {
-                        return Err(format!("{spk} played only {played} samples"));
-                    }
-                }
-                Ok(())
-            })
-            .check("speakers-in-sync", |t| {
-                offsets_within(t.probe_at(SimDuration::from_secs(5)).unwrap(), 60)
-            }),
-    );
+            }
+        }
+    }
+    es_sim::fleet::set_threads(0);
 }

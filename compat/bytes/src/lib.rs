@@ -8,6 +8,9 @@
 //! (including panics on underflow), so swapping the real dependency
 //! back in is a one-line manifest change.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;

@@ -11,6 +11,9 @@
 //! assertion message. Case count defaults to 64 per property and is
 //! overridable with `PROPTEST_CASES`.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Number of cases each property runs (`PROPTEST_CASES` overrides).

@@ -1,0 +1,325 @@
+//! A hand-rolled Rust lexer: just enough token structure for lexical
+//! invariant checks.
+//!
+//! The analyzer never parses Rust — it only needs to know, for each
+//! source position, whether text is a *comment*, a *string literal*,
+//! or *code*, and to split code into identifier and punctuation
+//! tokens with line numbers. That distinction is exactly what a
+//! regex-over-lines checker gets wrong (`"Instant::now"` inside a
+//! string, `HashMap` in a doc comment) and exactly what a lexer gets
+//! right. Handled: line and (nested) block comments, string literals
+//! with escapes, raw strings with arbitrary `#` fences, byte strings,
+//! char literals, and the char-literal/lifetime ambiguity.
+
+/// One lexical token, tagged with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier or keyword (`Instant`, `unsafe`, `now`, …).
+    Ident { line: u32, text: String },
+    /// The decoded-enough contents of a string literal (escapes are
+    /// kept verbatim except `\"`; good enough for key validation).
+    Str { line: u32, text: String },
+    /// A numeric literal (value unused; kept so idents never glue).
+    Num { line: u32 },
+    /// Any other single code character (`(`, `:`, `.`, …).
+    Punct { line: u32, ch: char },
+}
+
+impl Token {
+    /// The line this token starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Token::Ident { line, .. }
+            | Token::Str { line, .. }
+            | Token::Num { line }
+            | Token::Punct { line, .. } => *line,
+        }
+    }
+}
+
+/// A line comment's text (without `//`) and the line it sits on, kept
+/// separately from the token stream so pragma parsing can see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: u32,
+    /// Comment text after the `//` (including any extra `/` or `!`).
+    pub text: String,
+}
+
+/// The result of lexing one file: code tokens plus line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order (block comments are skipped —
+    /// pragmas are line comments by definition).
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes Rust source text. Never fails: on malformed input (unclosed
+/// string or comment) the remainder of the file is consumed as that
+/// construct, which is the conservative choice for a linter.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = bytes[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start_line = line;
+            i += 2;
+            let mut text = String::new();
+            while i < n && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.comments.push(LineComment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Block comment, possibly nested (Rust allows `/* /* */ */`).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            i += 2;
+            let mut depth = 1u32;
+            while i < n && depth > 0 {
+                if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"...", r#"..."#, br##"..."##.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next, nl)) = try_raw_string(&bytes, i, line) {
+                out.tokens.push(tok);
+                i = next;
+                line += nl;
+                continue;
+            }
+        }
+        // Plain (byte) string literal.
+        if c == '"' || (c == 'b' && i + 1 < n && bytes[i + 1] == '"') {
+            let start_line = line;
+            i += if c == 'b' { 2 } else { 1 };
+            let mut text = String::new();
+            while i < n {
+                match bytes[i] {
+                    '\\' if i + 1 < n => {
+                        // Keep the escape verbatim; `\"` must not
+                        // terminate the literal.
+                        text.push(bytes[i]);
+                        text.push(bytes[i + 1]);
+                        bump_line!(bytes[i + 1]);
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    ch => {
+                        bump_line!(ch);
+                        text.push(ch);
+                        i += 1;
+                    }
+                }
+            }
+            out.tokens.push(Token::Str {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime: after a `'`, an ident-ish run
+        // closed by another `'` is a char literal (`'a'`); otherwise
+        // it is a lifetime (`'a`) or a loop label and carries no
+        // content the rules care about.
+        if c == '\'' {
+            if i + 1 < n && bytes[i + 1] == '\\' {
+                // Escaped char literal: consume through the closing quote.
+                i += 2;
+                while i < n && bytes[i] != '\'' {
+                    i += 1;
+                }
+                i += 1;
+            } else if i + 2 < n && bytes[i + 2] == '\'' {
+                i += 3; // simple char literal 'x'
+            } else {
+                i += 1; // lifetime / label: skip the quote, lex the ident
+            }
+            continue;
+        }
+        // Identifier or keyword.
+        if c == '_' || c.is_alphabetic() {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && (bytes[i] == '_' || bytes[i].is_alphanumeric()) {
+                text.push(bytes[i]);
+                i += 1;
+            }
+            out.tokens.push(Token::Ident {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+        // Numeric literal (digits, underscores, type suffixes, exponents;
+        // precision is irrelevant — it only has to not split into idents).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < n
+                && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+                && !(bytes[i] == '.' && i + 1 < n && bytes[i + 1] == '.')
+            {
+                i += 1;
+            }
+            out.tokens.push(Token::Num { line: start_line });
+            continue;
+        }
+        if !c.is_whitespace() {
+            out.tokens.push(Token::Punct { line, ch: c });
+        }
+        bump_line!(c);
+        i += 1;
+    }
+    out
+}
+
+/// Tries to lex a raw string (`r"…"`, `r#"…"#`, `br#"…"#`) starting at
+/// `i`. Returns the token, the index after it, and newline count.
+fn try_raw_string(bytes: &[char], i: usize, line: u32) -> Option<(Token, usize, u32)> {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if j >= n || bytes[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut fence = 0usize;
+    while j < n && bytes[j] == '#' {
+        fence += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != '"' {
+        return None;
+    }
+    j += 1;
+    let mut text = String::new();
+    let mut newlines = 0u32;
+    while j < n {
+        if bytes[j] == '"' {
+            // A closing quote followed by `fence` hashes ends it.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < fence && bytes[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == fence {
+                return Some((Token::Str { line, text }, k, newlines));
+            }
+        }
+        if bytes[j] == '\n' {
+            newlines += 1;
+        }
+        text.push(bytes[j]);
+        j += 1;
+    }
+    Some((Token::Str { line, text }, n, newlines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t {
+                Token::Ident { text, .. } => Some(text),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_idents() {
+        let src = r##"
+            // Instant::now in a comment
+            /* HashMap in a block /* nested */ comment */
+            let s = "thread_rng inside a string";
+            let r = r#"SystemTime raw"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let ids = idents("let c = 'x'; let l: &'a str = s; 'outer: loop { break 'outer; }");
+        assert!(ids.contains(&"loop".to_string()));
+        assert!(ids.contains(&"outer".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lexed = lex(r#"let s = "a\"b"; let t = Instant;"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Str { text, .. } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["a\\\"b".to_string()]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| matches!(t, Token::Ident { text, .. } if text == "Instant"),));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n\"s\ntr\"\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(Token::line).collect();
+        assert_eq!(lines, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let lexed = lex("fn f() {}\n// es-allow(wall-clock): bench timing\nfn g() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("es-allow"));
+    }
+}

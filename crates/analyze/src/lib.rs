@@ -1,0 +1,150 @@
+//! # es-analyze — the workspace determinism-and-invariant linter
+//!
+//! The reproduction rests on invariants `rustc` cannot see: all
+//! simulated components use *virtual* time (the paper's producer wall
+//! clock is simulated, §3.2), every random draw flows from the
+//! scenario seed, and iteration orders keep `ES_FLEET_THREADS=1`
+//! bit-identical to `=4`. One stray `Instant::now()` or `HashMap`
+//! iteration silently breaks replay and is only caught — maybe — by
+//! the chaos fingerprint diff, after the fact. This crate checks those
+//! invariants *statically*, so the build refuses the bug instead of
+//! the chaos suite happening to catch it.
+//!
+//! The engine is dependency-free: a hand-rolled lexer
+//! ([`lexer`]) distinguishes code from comments and strings, a
+//! workspace walker ([`walker`]) attributes files to crates and
+//! target roles, and a rule registry ([`rules`]) runs lexical checks
+//! scoped by that attribution. Legitimate exceptions are written down
+//! in-line as `// es-allow(rule): reason` pragmas ([`pragma`]); the
+//! reason is mandatory and the pragma must name a registered rule.
+//!
+//! Run it as `cargo run -p es-analyze -- --workspace` (non-zero exit
+//! on any unexcused finding) — `scripts/check.sh` does, before the
+//! test suite, archiving the JSON report to `results/analyze.json`.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod lexer;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+pub mod walker;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::Report;
+pub use walker::{Role, SourceFile};
+
+/// One finding after pragma resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`wall-clock`, `unseeded-rng`, …).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// True if an `es-allow` pragma excuses it.
+    pub allowed: bool,
+    /// The pragma's reason, when allowed.
+    pub reason: Option<String>,
+}
+
+/// Analyzes one file's source text under the given attribution.
+/// Findings covered by a well-formed pragma come back `allowed` with
+/// the pragma's reason attached.
+pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let pragmas = pragma::parse(&lexed.comments);
+    let ctx = rules::FileCtx {
+        file,
+        tokens: &lexed.tokens,
+        pragmas: &pragmas,
+    };
+    let mut out = Vec::new();
+    for rule in rules::all() {
+        for raw in rule.check(&ctx) {
+            let covering = pragma::covering(&pragmas, rule.id, raw.line);
+            out.push(Finding {
+                rule: rule.id.to_string(),
+                rel: file.rel.clone(),
+                line: raw.line,
+                message: raw.message,
+                allowed: covering.is_some(),
+                reason: covering.map(|p| p.reason.clone()),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    out
+}
+
+/// Analyzes one file from disk.
+pub fn analyze_file(file: &SourceFile) -> io::Result<Vec<Finding>> {
+    let src = fs::read_to_string(&file.path)?;
+    Ok(analyze_source(file, &src))
+}
+
+/// Analyzes every `.rs` file under `root` (skipping `target/`,
+/// `results/`, dotdirs, and the analyzer's own rule-violation
+/// fixtures). Findings are sorted by (path, line, rule).
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let files = walker::discover(root)?;
+    let mut findings = Vec::new();
+    for file in &files {
+        findings.extend(analyze_file(file)?);
+    }
+    findings.sort_by(|a, b| {
+        (a.rel.as_str(), a.line, a.rule.as_str()).cmp(&(b.rel.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned: files.len(),
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn file(rel: &str) -> SourceFile {
+        walker::attribute(PathBuf::from(rel), rel.to_string())
+    }
+
+    #[test]
+    fn pragma_downgrades_finding_to_allowed() {
+        let src = "fn f() {\n    // es-allow(wall-clock): measures host jitter for a report\n    \
+                   let t = Instant::now();\n}\n";
+        let fs = analyze_source(&file("crates/net/src/lan.rs"), src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+        assert_eq!(
+            fs[0].reason.as_deref(),
+            Some("measures host jitter for a report")
+        );
+    }
+
+    #[test]
+    fn pragma_without_reason_does_not_suppress() {
+        let src = "fn f() {\n    // es-allow(wall-clock):\n    let t = Instant::now();\n}\n";
+        let fs = analyze_source(&file("crates/net/src/lan.rs"), src);
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].allowed);
+    }
+
+    #[test]
+    fn pragma_for_other_rule_does_not_suppress() {
+        let src = "fn f() {\n    // es-allow(unseeded-rng): wrong rule\n    \
+                   let t = Instant::now();\n}\n";
+        let fs = analyze_source(&file("crates/net/src/lan.rs"), src);
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].allowed);
+    }
+}

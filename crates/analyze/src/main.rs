@@ -1,0 +1,191 @@
+//! The `es-analyze` command-line interface.
+//!
+//! ```text
+//! es-analyze --workspace [--json] [--strict] [--list-rules]
+//! es-analyze [--as-crate NAME] [--json] [--strict] PATH...
+//! ```
+//!
+//! `--workspace` walks up from the current directory to the workspace
+//! root (the `Cargo.toml` with a `[workspace]` table) and analyzes
+//! every `.rs` file. Explicit `PATH`s analyze individual files —
+//! useful for fixtures and editor integration; `--as-crate` overrides
+//! crate attribution so scoped rules apply. Exit status: 0 when no
+//! active findings, 1 when findings remain, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use es_analyze::{analyze_file, analyze_workspace, rules, walker, Report};
+
+struct Opts {
+    workspace: bool,
+    json: bool,
+    strict: bool,
+    list_rules: bool,
+    as_crate: Option<String>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: es-analyze --workspace [--json] [--strict]\n\
+     \x20      es-analyze [--as-crate NAME] [--json] [--strict] PATH...\n\
+     \x20      es-analyze --list-rules"
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        workspace: false,
+        json: false,
+        strict: false,
+        list_rules: false,
+        as_crate: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            "--list-rules" => opts.list_rules = true,
+            "--as-crate" => {
+                opts.as_crate = Some(
+                    it.next()
+                        .ok_or_else(|| "--as-crate needs a crate name".to_string())?
+                        .clone(),
+                );
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            p if !p.starts_with('-') => opts.paths.push(PathBuf::from(p)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if !opts.list_rules && !opts.workspace && opts.paths.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn analyze_paths(opts: &Opts) -> std::io::Result<Report> {
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &opts.paths {
+        let rel = path.display().to_string().replace('\\', "/");
+        let mut file = walker::attribute(path.clone(), rel);
+        if let Some(krate) = &opts.as_crate {
+            file.krate = krate.clone();
+        }
+        findings.extend(analyze_file(&file)?);
+        scanned += 1;
+    }
+    findings.sort_by(|a, b| {
+        (a.rel.as_str(), a.line, a.rule.as_str()).cmp(&(b.rel.as_str(), b.line, b.rule.as_str()))
+    });
+    Ok(Report {
+        root: String::new(),
+        files_scanned: scanned,
+        findings,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::all() {
+            println!("{:<16} {}", rule.id, rule.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = if opts.workspace {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("es-analyze: no workspace Cargo.toml above the current directory");
+            return ExitCode::from(2);
+        };
+        match analyze_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("es-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match analyze_paths(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("es-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if opts.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human(opts.strict));
+    }
+    if report.active_count() > 0 {
+        // Findings also go to stderr in JSON mode so a redirected gate
+        // still shows the operator what failed.
+        if opts.json {
+            eprint!("{}", report.human(opts.strict));
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_empty_input() {
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_args(&[]).is_err());
+        let o = parse_args(&[
+            "--workspace".to_string(),
+            "--json".to_string(),
+            "--strict".to_string(),
+        ])
+        .unwrap();
+        assert!(o.workspace && o.json && o.strict);
+    }
+
+    #[test]
+    fn parse_as_crate_and_paths() {
+        let o = parse_args(&[
+            "--as-crate".to_string(),
+            "net".to_string(),
+            "tests/fixtures/x.rs".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(o.as_crate.as_deref(), Some("net"));
+        assert_eq!(o.paths, vec![PathBuf::from("tests/fixtures/x.rs")]);
+    }
+}

@@ -1,0 +1,375 @@
+//! The rule registry: project-specific determinism and invariant
+//! checks.
+//!
+//! Every rule is lexical — it sees one file's token stream plus its
+//! crate/role attribution, and reports line-tagged findings. Rules err
+//! on the side of firing: a legitimate exception is written down with
+//! an `// es-allow(rule): reason` pragma, so the audit trail lives
+//! next to the code it excuses.
+
+use crate::lexer::Token;
+use crate::pragma::Pragma;
+use crate::walker::{Role, SourceFile};
+
+/// A rule's raw output before pragma resolution.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable defect description.
+    pub message: String,
+}
+
+/// Everything a rule may consult about one file.
+pub struct FileCtx<'a> {
+    /// The file's path/crate/role attribution.
+    pub file: &'a SourceFile,
+    /// Lexed code tokens (comments and string contents excluded).
+    pub tokens: &'a [Token],
+    /// Parsed suppression pragmas.
+    pub pragmas: &'a [Pragma],
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable id, used in pragmas and reports (kebab-case).
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and docs.
+    pub summary: &'static str,
+    check: fn(&FileCtx<'_>) -> Vec<RawFinding>,
+}
+
+impl Rule {
+    /// Runs the rule on one file.
+    pub fn check(&self, ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+        (self.check)(ctx)
+    }
+}
+
+/// The full registry, in reporting order.
+pub fn all() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "wall-clock",
+            summary: "Instant::now / SystemTime::now outside the live/bench allowlist",
+            check: wall_clock,
+        },
+        Rule {
+            id: "unseeded-rng",
+            summary: "entropy-seeded RNG (thread_rng, OsRng, from_entropy) anywhere",
+            check: unseeded_rng,
+        },
+        Rule {
+            id: "hash-iter-order",
+            summary: "HashMap/HashSet in replay-fingerprinted code; use BTree* instead",
+            check: hash_iter_order,
+        },
+        Rule {
+            id: "telemetry-key",
+            summary: "metric-key literals must match component/instance/name",
+            check: telemetry_key,
+        },
+        Rule {
+            id: "unsafe-audit",
+            summary: "unsafe blocks require an explicit audit pragma",
+            check: unsafe_audit,
+        },
+        Rule {
+            id: "pragma",
+            summary: "es-allow pragmas must name a registered rule",
+            check: pragma_names_known_rule,
+        },
+    ]
+}
+
+/// True if the rule registry contains `id`. The `pragma` meta-rule
+/// uses this so a typoed suppression fails instead of silently
+/// suppressing nothing.
+pub fn is_registered(id: &str) -> bool {
+    all().iter().any(|r| r.id == id)
+}
+
+/// Files where reading the wall clock is the *point*: the live
+/// producer paces real playback against it, and the bench harness
+/// measures it. Everything else simulates time (paper §3.2) and must
+/// not look at the host clock.
+fn wall_clock_allowlisted(file: &SourceFile) -> bool {
+    file.krate == "bench" || file.role == Role::Bench || file.rel == "crates/core/src/live.rs"
+}
+
+fn wall_clock(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    if wall_clock_allowlisted(ctx.file) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        let Token::Ident { line, text } = &t[i] else {
+            continue;
+        };
+        if text != "Instant" && text != "SystemTime" {
+            continue;
+        }
+        if matches!(t.get(i + 1), Some(Token::Punct { ch: ':', .. }))
+            && matches!(t.get(i + 2), Some(Token::Punct { ch: ':', .. }))
+            && matches!(t.get(i + 3), Some(Token::Ident { text: m, .. }) if m == "now")
+        {
+            out.push(RawFinding {
+                line: *line,
+                message: format!(
+                    "`{text}::now()` reads the host clock; simulated components must use \
+                     virtual time (es-sim) so replays stay bit-identical"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn unseeded_rng(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    const BANNED: &[&str] = &[
+        "thread_rng",
+        "ThreadRng",
+        "from_entropy",
+        "from_os_rng",
+        "OsRng",
+        "getrandom",
+    ];
+    ctx.tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Ident { line, text } if BANNED.contains(&text.as_str()) => Some(RawFinding {
+                line: *line,
+                message: format!(
+                    "`{text}` draws entropy from the host; all randomness must flow from the \
+                     scenario seed (Sim::rng or a per-node stream derived from Sim::seed)"
+                ),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn hash_iter_order(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    ctx.tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Ident { line, text } if text == "HashMap" || text == "HashSet" => {
+                Some(RawFinding {
+                    line: *line,
+                    message: format!(
+                        "`{text}` iterates in hash order, which varies per process and breaks \
+                         telemetry fingerprints; use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Telemetry accessor methods whose string arguments are metric keys.
+const KEYED_METHODS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "observe",
+    "counter_delta",
+    "sum_counters",
+    "component",
+];
+
+/// Charset for one key segment; `{`/`}` admit `format!` placeholders.
+fn valid_segment(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '{' | '}'))
+}
+
+fn telemetry_key(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        let Token::Ident { text, .. } = &t[i] else {
+            continue;
+        };
+        if !KEYED_METHODS.contains(&text.as_str()) {
+            continue;
+        }
+        // Only method-call position: `.counter(` — skips definitions
+        // (`fn counter(`) and unrelated free functions.
+        if i == 0 || !matches!(t[i - 1], Token::Punct { ch: '.', .. }) {
+            continue;
+        }
+        if !matches!(t.get(i + 1), Some(Token::Punct { ch: '(', .. })) {
+            continue;
+        }
+        let mut depth = 1u32;
+        let mut j = i + 2;
+        while j < t.len() && depth > 0 {
+            match &t[j] {
+                Token::Punct { ch: '(', .. } => depth += 1,
+                Token::Punct { ch: ')', .. } => depth -= 1,
+                Token::Str { line, text: lit } => {
+                    let segs: Vec<&str> = lit.split('/').collect();
+                    let ok = match segs.len() {
+                        1 => valid_segment(segs[0]),
+                        3 => segs.iter().all(|s| valid_segment(s)),
+                        _ => false,
+                    };
+                    if !ok {
+                        out.push(RawFinding {
+                            line: *line,
+                            message: format!(
+                                "metric key {lit:?} does not follow the `component/instance/name` \
+                                 convention (a bare name segment or a full three-segment path of \
+                                 [A-Za-z0-9_.-]+)"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+fn unsafe_audit(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    ctx.tokens
+        .iter()
+        .filter_map(|t| match t {
+            Token::Ident { line, text } if text == "unsafe" => Some(RawFinding {
+                line: *line,
+                message: "`unsafe` requires an audit trail; every library crate is \
+                          #![forbid(unsafe_code)] — justify the exception with a pragma \
+                          and drop the forbid deliberately"
+                    .to_string(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn pragma_names_known_rule(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    ctx.pragmas
+        .iter()
+        .filter(|p| !is_registered(&p.rule))
+        .map(|p| RawFinding {
+            line: p.line,
+            message: format!(
+                "es-allow names unknown rule `{}`; it would suppress nothing (registered: {})",
+                p.rule,
+                all().iter().map(|r| r.id).collect::<Vec<_>>().join(", ")
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::pragma;
+    use crate::walker::attribute;
+    use std::path::PathBuf;
+
+    fn run_on(rel: &str, src: &str) -> Vec<(String, u32)> {
+        let file = attribute(PathBuf::from(rel), rel.to_string());
+        let lexed = lexer::lex(src);
+        let pragmas = pragma::parse(&lexed.comments);
+        let ctx = FileCtx {
+            file: &file,
+            tokens: &lexed.tokens,
+            pragmas: &pragmas,
+        };
+        let mut out = Vec::new();
+        for rule in all() {
+            for f in rule.check(&ctx) {
+                out.push((rule.id.to_string(), f.line));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn wall_clock_fires_outside_allowlist_only() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(
+            run_on("crates/net/src/lan.rs", src),
+            vec![("wall-clock".to_string(), 1)]
+        );
+        assert!(run_on("crates/bench/src/perf.rs", src).is_empty());
+        assert!(run_on("crates/core/src/live.rs", src).is_empty());
+        assert!(run_on("crates/bench/benches/micro.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_type_without_now_is_fine() {
+        assert!(run_on("crates/net/src/lan.rs", "fn f(t: Instant) -> Instant { t }").is_empty());
+    }
+
+    #[test]
+    fn rng_and_hash_fire_anywhere() {
+        let hits = run_on(
+            "examples/quickstart.rs",
+            "fn f() { let r = thread_rng(); let m: HashMap<u8, u8> = HashMap::new(); }",
+        );
+        let rules: Vec<&str> = hits.iter().map(|(r, _)| r.as_str()).collect();
+        assert_eq!(
+            rules,
+            vec!["unseeded-rng", "hash-iter-order", "hash-iter-order"]
+        );
+    }
+
+    #[test]
+    fn telemetry_key_validates_segments() {
+        // Good: bare names and full three-segment paths.
+        assert!(run_on(
+            "crates/net/src/lan.rs",
+            r#"fn f(s: &mut S) { s.counter("frames_sent", 1).gauge("multicast_fanout", 2.0); }"#
+        )
+        .is_empty());
+        assert!(run_on(
+            "tests/chaos.rs",
+            r#"fn f(m: &M) { m.counter("net/lan0/frames_delivered"); }"#
+        )
+        .is_empty());
+        // Bad: two segments, empty segment, illegal characters.
+        for bad in [
+            r#"fn f(m: &M) { m.counter("net/frames"); }"#,
+            r#"fn f(m: &M) { m.counter("net//frames_sent"); }"#,
+            r#"fn f(s: &mut S) { s.counter("frames sent", 1); }"#,
+        ] {
+            assert_eq!(
+                run_on("tests/chaos.rs", bad),
+                vec![("telemetry-key".to_string(), 1)],
+                "expected a finding for {bad}"
+            );
+        }
+        // Definitions and free functions named like accessors are not calls.
+        assert!(run_on(
+            "crates/telemetry/src/metrics.rs",
+            r#"pub fn counter(name: &str) {} fn g() { counter("not a key!"); }"#
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_is_flagged() {
+        assert_eq!(
+            run_on("crates/sim/src/engine.rs", "fn f() { unsafe { work() } }"),
+            vec![("unsafe-audit".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn unknown_pragma_rule_is_a_finding() {
+        let hits = run_on(
+            "crates/net/src/lan.rs",
+            "// es-allow(wallclock): typo\nfn f() {}",
+        );
+        assert_eq!(hits, vec![("pragma".to_string(), 1)]);
+    }
+}

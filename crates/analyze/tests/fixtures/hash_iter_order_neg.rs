@@ -1,0 +1,15 @@
+//! Negative fixture: ordered containers; iteration is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(keys: &[u32]) -> BTreeSet<u32> {
+    keys.iter().copied().collect()
+}

@@ -1,0 +1,17 @@
+//! Positive fixture: hash-ordered containers in fingerprinted code.
+//! Expect `hash-iter-order` findings for both container types.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(keys: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for k in keys {
+        *counts.entry(*k).or_insert(0) += 1;
+    }
+    // Iteration order here varies per process: fingerprint poison.
+    counts.into_iter().collect()
+}
+
+pub fn distinct(keys: &[u32]) -> HashSet<u32> {
+    keys.iter().copied().collect()
+}

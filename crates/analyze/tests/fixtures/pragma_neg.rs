@@ -1,0 +1,10 @@
+//! Negative fixture: a well-formed pragma with a reason suppresses
+//! the wall-clock finding below it. Zero *active* findings; under
+//! `--strict` the suppression is listed as "allowed" and counted in
+//! the JSON report.
+
+pub fn stamp_ns() -> u64 {
+    // es-allow(wall-clock): fixture exercises a sanctioned suppression
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

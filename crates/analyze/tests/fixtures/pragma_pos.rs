@@ -1,0 +1,9 @@
+//! Positive fixture: an `es-allow` pragma naming an unregistered rule
+//! (a typo). Expect a `pragma` finding — and the wall-clock finding it
+//! meant to suppress stays active.
+
+pub fn stamp_ns() -> u64 {
+    // es-allow(wallclock): typo'd rule id must not suppress anything
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+//! Negative fixture: well-formed metric keys — bare single-segment
+//! names at emit sites, full `component/instance/name` paths at
+//! lookup sites, format placeholders allowed in instance position.
+
+pub fn publish(scope: &mut es_telemetry::Scope<'_>, snap: &es_telemetry::MetricsSnapshot) {
+    scope
+        .counter("frames_sent", 1)
+        .gauge("multicast_fanout", 2.0);
+    let _ = snap.counter("net/lan0/frames_delivered");
+    let _ = snap.counter(&format!("speaker/{}/samples_played", 3));
+    let _ = snap.sum_counters("speaker", "samples_played");
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: malformed metric keys. Expect `telemetry-key`
+//! findings: a two-segment path, an empty segment, and a name with a
+//! space.
+
+pub fn publish(scope: &mut es_telemetry::Scope<'_>, snap: &es_telemetry::MetricsSnapshot) {
+    scope.counter("frames sent", 1);
+    let _ = snap.counter("net/frames_delivered");
+    let _ = snap.gauge("net//multicast_fanout");
+}

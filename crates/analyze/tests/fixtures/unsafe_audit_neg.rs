@@ -1,0 +1,9 @@
+//! Negative fixture: safe code; the word appearing in comments and
+//! strings must not fire.
+
+/// Nothing unsafe here — and saying "unsafe" in docs is fine.
+pub fn read_first(bytes: &[u8]) -> Option<u8> {
+    let label = "unsafe is banned without an audit pragma";
+    let _ = label;
+    bytes.first().copied()
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: an unaudited `unsafe` block. Expect an
+//! `unsafe-audit` finding.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: all randomness flows from an explicit seed, the
+//! way every simulated component derives its stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn per_node_stream(scenario_seed: u64, node_index: u64) -> StdRng {
+    StdRng::seed_from_u64(scenario_seed ^ (node_index.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}

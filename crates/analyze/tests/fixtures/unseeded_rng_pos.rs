@@ -1,0 +1,11 @@
+//! Positive fixture: entropy-seeded randomness. Expect `unseeded-rng`
+//! findings for both the thread RNG and the entropy constructor.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn fresh() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

@@ -1,0 +1,14 @@
+//! Negative fixture: virtual time only. `Instant::now()` appears in a
+//! comment and a string — the lexer must not report either — and the
+//! `Instant` *type* without `::now` is legal (stored durations).
+
+pub fn deadline(now_virtual_ns: u64, budget_ns: u64) -> u64 {
+    // A real implementation would call Instant::now() here; we don't.
+    let label = "Instant::now is banned outside the allowlist";
+    let _ = label;
+    now_virtual_ns + budget_ns
+}
+
+pub fn keep(t: std::time::Instant) -> std::time::Instant {
+    t
+}

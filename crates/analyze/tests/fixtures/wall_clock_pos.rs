@@ -1,0 +1,14 @@
+//! Positive fixture: host-clock reads outside the live/bench
+//! allowlist. Expect two `wall-clock` findings.
+
+pub fn stamp_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn epoch_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

@@ -1,0 +1,171 @@
+//! Self-test: every registered rule is exercised by a positive and a
+//! negative fixture, both through the library API and through the
+//! compiled CLI (exit codes, `--strict`, `--json`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use es_analyze::{analyze_source, rules, walker};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// `wall-clock` → `wall_clock_pos.rs` / `wall_clock_neg.rs`.
+fn fixture_path(rule: &str, positive: bool) -> PathBuf {
+    let stem = rule.replace('-', "_");
+    let suffix = if positive { "pos" } else { "neg" };
+    fixtures_dir().join(format!("{stem}_{suffix}.rs"))
+}
+
+/// Analyzes a fixture as if it lived in a scoped, non-allowlisted
+/// crate, so rules with path allowlists still apply.
+fn analyze_fixture(path: &Path) -> Vec<es_analyze::Finding> {
+    let rel = format!(
+        "crates/net/src/{}",
+        path.file_name().unwrap().to_string_lossy()
+    );
+    let file = walker::attribute(path.to_path_buf(), rel);
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    analyze_source(&file, &src)
+}
+
+#[test]
+fn every_rule_has_both_fixtures() {
+    for rule in rules::all() {
+        for positive in [true, false] {
+            let p = fixture_path(rule.id, positive);
+            assert!(
+                p.is_file(),
+                "rule `{}` is missing fixture {}",
+                rule.id,
+                p.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule() {
+    for rule in rules::all() {
+        let findings = analyze_fixture(&fixture_path(rule.id, true));
+        let active: Vec<_> = findings
+            .iter()
+            .filter(|f| !f.allowed && f.rule == rule.id)
+            .collect();
+        assert!(
+            !active.is_empty(),
+            "positive fixture for `{}` produced no active finding of that rule; got {findings:?}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_are_clean() {
+    for rule in rules::all() {
+        let findings = analyze_fixture(&fixture_path(rule.id, false));
+        let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
+        assert!(
+            active.is_empty(),
+            "negative fixture for `{}` has active findings: {active:?}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn pragma_fixture_counts_as_allowed() {
+    let findings = analyze_fixture(&fixture_path("pragma", false));
+    let allowed: Vec<_> = findings.iter().filter(|f| f.allowed).collect();
+    assert_eq!(allowed.len(), 1, "expected one suppressed finding");
+    assert_eq!(allowed[0].rule, "wall-clock");
+    assert_eq!(
+        allowed[0].reason.as_deref(),
+        Some("fixture exercises a sanctioned suppression")
+    );
+}
+
+fn run_cli(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_es-analyze"))
+        .args(args)
+        .output()
+        .expect("run es-analyze");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_exits_nonzero_on_each_positive_fixture_and_zero_on_negatives() {
+    for rule in rules::all() {
+        let pos = fixture_path(rule.id, true);
+        let (code, stdout, _) = run_cli(&["--as-crate", "net", pos.to_str().unwrap()]);
+        assert_eq!(
+            code,
+            1,
+            "expected exit 1 for {}; stdout:\n{stdout}",
+            pos.display()
+        );
+        assert!(stdout.contains(&format!("[{}]", rule.id)));
+
+        let neg = fixture_path(rule.id, false);
+        let (code, stdout, _) = run_cli(&["--as-crate", "net", neg.to_str().unwrap()]);
+        assert_eq!(
+            code,
+            0,
+            "expected exit 0 for {}; stdout:\n{stdout}",
+            neg.display()
+        );
+    }
+}
+
+#[test]
+fn cli_strict_lists_suppressions_and_json_counts_them() {
+    let neg = fixture_path("pragma", false);
+    let neg = neg.to_str().unwrap();
+
+    // Plain run: clean, quiet about the suppression.
+    let (code, stdout, _) = run_cli(&[neg]);
+    assert_eq!(code, 0);
+    assert!(!stdout.contains("allowed:"));
+    assert!(stdout.contains("0 finding(s), 1 allowed"));
+
+    // Strict run: still exit 0, but the suppression is listed.
+    let (code, stdout, _) = run_cli(&["--strict", neg]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("[wall-clock] allowed: fixture exercises a sanctioned suppression"));
+
+    // JSON: suppressed findings are always present and counted.
+    let (code, stdout, _) = run_cli(&["--json", neg]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("\"active\": 0"));
+    assert!(stdout.contains("\"allowed\": 1"));
+    assert!(stdout.contains("\"reason\": \"fixture exercises a sanctioned suppression\""));
+}
+
+#[test]
+fn cli_list_rules_names_every_rule() {
+    let (code, stdout, _) = run_cli(&["--list-rules"]);
+    assert_eq!(code, 0);
+    for rule in rules::all() {
+        assert!(
+            stdout.contains(rule.id),
+            "missing {} in:\n{stdout}",
+            rule.id
+        );
+    }
+}
+
+#[test]
+fn cli_usage_error_is_exit_two() {
+    let (code, _, stderr) = run_cli(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"));
+    let (code, _, _) = run_cli(&["--bogus-flag"]);
+    assert_eq!(code, 2);
+}

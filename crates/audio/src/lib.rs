@@ -17,6 +17,9 @@
 //! - [`resample`]: linear and windowed-sinc rate conversion for
 //!   fixed-rate speaker DACs.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod analysis;
 pub mod convert;
 pub mod encoding;

@@ -9,6 +9,10 @@
 //! Run: `cargo bench -p es-bench --bench micro`
 //! (`ES_BENCH_QUICK=1` shrinks the iteration budget for CI.)
 
+// Measuring wall time is this target's purpose (es-analyze allowlists
+// bench targets; mirror that for clippy's disallowed-methods).
+#![allow(clippy::disallowed_methods)]
+
 use std::hint::black_box;
 use std::time::Instant;
 

@@ -5,6 +5,12 @@
 //! deterministic (seeded) and runs in virtual time; `ES_BENCH_QUICK=1`
 //! shortens the windows for CI.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+// The bench harness is the sanctioned wall-clock consumer (es-analyze
+// allowlists the whole crate): measuring real time is its job.
+#![allow(clippy::disallowed_methods)]
+
 pub mod auth_exp;
 pub mod avol_exp;
 pub mod buf_exp;

@@ -16,6 +16,9 @@
 //! start) that refuses images or config bundles signed by the wrong
 //! server key.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod dhcp;
 pub mod image;
 pub mod machine;

@@ -23,6 +23,9 @@
 //!   `<dir>/<name>.txt` so a driver script can diff two whole-suite
 //!   runs across processes (`scripts/check.sh` does exactly that).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 use es_core::prelude::CompressionPolicy;
 use es_core::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
 use es_net::{LanConfig, McastGroup};

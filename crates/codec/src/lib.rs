@@ -16,6 +16,9 @@
 //! Every encode reports *work units* so the `es-sim` CPU model can
 //! price it on Geode-class hardware.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod adpcm;
 pub mod bitstream;
 pub mod codec;

@@ -20,6 +20,9 @@
 //! assert!(sys.speaker(0).unwrap().stats().samples_played > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod builder;
 pub mod catalog;
 pub mod live;

@@ -729,7 +729,8 @@ impl Lan {
         // singleton batch, preserving the old per-delivery schedule
         // exactly.
         let mut batches: Vec<(SimTime, Vec<u32>)> = Vec::new();
-        let mut index: std::collections::HashMap<SimTime, usize> = std::collections::HashMap::new();
+        let mut index: std::collections::BTreeMap<SimTime, usize> =
+            std::collections::BTreeMap::new();
         for (r, offset) in receivers {
             let at = deliver_at_base + offset;
             let i = *index.entry(at).or_insert_with(|| {

@@ -12,6 +12,9 @@
 //! arrival and free multicast. [`lan::LanConfig`] defaults to that
 //! friendly environment and lets experiments dial in the hostile one.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod lan;
 pub mod udp;
 

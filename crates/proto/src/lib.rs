@@ -15,6 +15,9 @@
 //! - [`monitor`]: RFC 3550-style reception quality (jitter, loss,
 //!   reorder) — the numbers §5.3's management MIB would export.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod auth;
 pub mod crc;
 pub mod fec;

@@ -12,6 +12,9 @@
 //! - [`policy`]: §2.2's selective compression.
 //! - [`producer`]: the stateless single-threaded rebroadcaster itself.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod app;
 pub mod policy;
 pub mod producer;

@@ -682,7 +682,7 @@ mod tests {
             stats.payload_bytes_out
         );
         let log = log.borrow();
-        let codecs: std::collections::HashSet<u8> = log
+        let codecs: std::collections::BTreeSet<u8> = log
             .iter()
             .filter_map(|(_, p)| match p {
                 Packet::Data(d) => Some(d.codec),

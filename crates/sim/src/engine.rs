@@ -10,7 +10,7 @@
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -71,7 +71,7 @@ impl Ord for Queued {
 pub struct Sim {
     now: SimTime,
     queue: BinaryHeap<Queued>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     rng: StdRng,
     seed: u64,
@@ -84,7 +84,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             rng: StdRng::seed_from_u64(seed),
             seed,

@@ -178,6 +178,8 @@ fn spawn_worker(lane: usize) -> Worker {
         .name(format!("es-fleet-{lane}"))
         .spawn(move || {
             while let Ok((idx, job, out)) = rx.recv() {
+                #[allow(clippy::disallowed_methods)]
+                // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
                 let start = Instant::now();
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                 let spent = start.elapsed().as_nanos() as u64;
@@ -225,6 +227,8 @@ pub fn run_batch(jobs: Vec<Job>) -> Vec<Box<dyn Any + Send>> {
         let out: Vec<_> = jobs
             .into_iter()
             .map(|j| {
+                #[allow(clippy::disallowed_methods)]
+                // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
                 let start = Instant::now();
                 let r = j();
                 job_ns.push(start.elapsed().as_nanos() as u64);
@@ -263,6 +267,8 @@ pub fn run_batch(jobs: Vec<Job>) -> Vec<Box<dyn Any + Send>> {
     let mut results: Vec<Option<ThreadResult>> = (0..total).map(|_| None).collect();
     // Lane 0 is the caller: run its share while the workers chew.
     for (i, job) in local {
+        #[allow(clippy::disallowed_methods)]
+        // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
         let start = Instant::now();
         results[i] = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)));
         job_ns[i] = start.elapsed().as_nanos() as u64;
@@ -368,6 +374,7 @@ mod tests {
                 })
                 .collect();
             run_batch(jobs);
+            // es-allow(hash-iter-order): only counted, never iterated; ThreadId is not Ord
             let seen: std::collections::HashSet<_> = ids.lock().unwrap().iter().copied().collect();
             assert_eq!(seen.len(), 4, "expected all 4 lanes used");
         });

@@ -17,6 +17,9 @@
 //! Nothing here knows about audio or networks; see `es-net`, `es-vad`
 //! and the crates above them.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod cpu;
 pub mod engine;
 pub mod fleet;

@@ -10,6 +10,9 @@
 //! - [`autovol`]: the §5.2 ambient-noise automatic volume control with
 //!   a simulated microphone.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod autovol;
 pub mod speaker;
 pub mod sync;

@@ -25,6 +25,9 @@
 //! `es-sim` experiments and in `es-core::live`. Metric values are
 //! plain numbers and need no clock at all.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 mod journal;
 pub mod json;
 mod metrics;

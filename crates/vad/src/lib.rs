@@ -18,6 +18,9 @@
 //! - [`input::input_pair`]: the capture direction the paper left as a
 //!   limitation ("currently vads only supports audio output").
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub mod device;
 pub mod hw;
 pub mod input;

@@ -9,6 +9,17 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check"
 cargo fmt --all --check
 
+# Static determinism-and-invariant lint: wall-clock reads, unseeded
+# RNG, hash-ordered iteration, malformed telemetry keys, unaudited
+# unsafe (see DESIGN.md §8). Runs before the test suite because it is
+# cheap (<1s on the full workspace; budget 5s) and refuses bugs the
+# chaos fingerprints would only catch after the fact. The JSON report
+# — including every pragma-suppressed finding and its reason — is
+# archived per run; on failure the findings are printed to stderr.
+echo "== es-analyze (determinism & invariant lint)"
+mkdir -p results
+cargo run -q -p es-analyze -- --workspace --json > results/analyze.json
+
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

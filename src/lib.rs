@@ -4,6 +4,9 @@
 //! root-level examples and integration tests can depend on every member
 //! crate through a single package.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub use es_audio as audio;
 pub use es_boot as boot;
 pub use es_codec as codec;

@@ -75,6 +75,11 @@ pub fn all() -> Vec<Rule> {
             check: unsafe_audit,
         },
         Rule {
+            id: "spec-builder-naming",
+            summary: "builder methods on *Spec types use bare field names, not with_*",
+            check: spec_builder_naming,
+        },
+        Rule {
             id: "pragma",
             summary: "es-allow pragmas must name a registered rule",
             check: pragma_names_known_rule,
@@ -252,6 +257,79 @@ fn unsafe_audit(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
         .collect()
 }
 
+/// The public spec/builder convention: `ChannelSpec`, `SpeakerSpec`,
+/// `SessionSpec` (and any future `*Spec`) name their builder methods
+/// after the field they set — `epsilon(..)`, not `with_epsilon(..)`.
+/// A `with_*` method inside an `impl ...Spec` block is a finding
+/// unless it carries `#[deprecated]` (the one-release compat aliases).
+fn spec_builder_naming(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    // Track `impl <Name>Spec` blocks by brace depth. Lexical, like
+    // every rule here: depth counting is enough because `impl` items
+    // are always at depth 0 of the module they appear in.
+    let mut depth: i64 = 0;
+    let mut spec_impl_close: Option<i64> = None;
+    for i in 0..t.len() {
+        match &t[i] {
+            Token::Punct { ch: '{', .. } => depth += 1,
+            Token::Punct { ch: '}', .. } => {
+                depth -= 1;
+                if spec_impl_close == Some(depth) {
+                    spec_impl_close = None;
+                }
+            }
+            Token::Ident { text, .. } if text == "impl" && spec_impl_close.is_none() => {
+                // `impl XSpec {` or `impl Trait for XSpec {` — scan the
+                // header (tokens until the opening brace) for a *Spec
+                // ident.
+                let mut j = i + 1;
+                let mut is_spec = false;
+                while j < t.len() {
+                    match &t[j] {
+                        Token::Punct { ch: '{', .. } => break,
+                        Token::Ident { text: name, .. } if name.ends_with("Spec") => {
+                            is_spec = true;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_spec {
+                    spec_impl_close = Some(depth);
+                }
+            }
+            Token::Ident { text, .. } if text == "fn" && spec_impl_close.is_some() => {
+                let Some(Token::Ident { line, text: name }) = t.get(i + 1) else {
+                    continue;
+                };
+                if !name.starts_with("with_") {
+                    continue;
+                }
+                // The deprecated compat aliases are the sanctioned
+                // exception; `#[deprecated ...]` precedes the fn.
+                let lookback = i.saturating_sub(16);
+                let deprecated = t[lookback..i]
+                    .iter()
+                    .any(|tok| matches!(tok, Token::Ident { text: a, .. } if a == "deprecated"));
+                if !deprecated {
+                    out.push(RawFinding {
+                        line: *line,
+                        message: format!(
+                            "`{name}` on a *Spec type breaks the bare-field builder \
+                             convention (`{}`); rename it, keeping a #[deprecated] \
+                             alias for one release if it was public",
+                            &name["with_".len()..]
+                        ),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 fn pragma_names_known_rule(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     ctx.pragmas
         .iter()
@@ -362,6 +440,32 @@ mod tests {
             run_on("crates/sim/src/engine.rs", "fn f() { unsafe { work() } }"),
             vec![("unsafe-audit".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn spec_builder_naming_enforces_bare_names() {
+        // A with_* builder inside an impl of a Spec type fires.
+        let bad = "impl SpeakerSpec { pub fn with_volume(mut self, v: f64) -> Self { self } }";
+        assert_eq!(
+            run_on("crates/core/src/builder.rs", bad),
+            vec![("spec-builder-naming".to_string(), 1)]
+        );
+        // The deprecated alias is the sanctioned exception.
+        let alias = "impl SpeakerSpec {\n\
+                     #[deprecated(since = \"0.1.0\", note = \"renamed\")]\n\
+                     pub fn with_volume(self, v: f64) -> Self { self.volume(v) }\n\
+                     }";
+        assert!(run_on("crates/core/src/builder.rs", alias).is_empty());
+        // Bare-name builders are the convention.
+        let good = "impl ChannelSpec { pub fn volume(mut self, v: f64) -> Self { self } }";
+        assert!(run_on("crates/core/src/builder.rs", good).is_empty());
+        // with_* on non-Spec types is out of scope for this rule.
+        let other = "impl BootImage { pub fn with_file(mut self, p: &str) -> Self { self } }";
+        assert!(run_on("crates/boot/src/image.rs", other).is_empty());
+        // ...even when a Spec impl appears elsewhere in the same file.
+        let mixed = "impl SessionSpec { pub fn setup_retry(self) -> Self { self } }\n\
+                     impl LiveConfig { pub fn with_journal(self) -> Self { self } }";
+        assert!(run_on("crates/core/src/builder.rs", mixed).is_empty());
     }
 
     #[test]

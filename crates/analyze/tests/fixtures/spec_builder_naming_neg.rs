@@ -1,0 +1,30 @@
+//! Negative fixture: bare-name builders are the convention; a
+//! `#[deprecated]` alias is the sanctioned one-release exception; and
+//! `with_*` on non-Spec types is out of this rule's scope.
+
+pub struct WidgetSpec {
+    pub volume: f64,
+}
+
+impl WidgetSpec {
+    pub fn volume(mut self, volume: f64) -> Self {
+        self.volume = volume;
+        self
+    }
+
+    #[deprecated(since = "0.1.0", note = "renamed to `volume`")]
+    pub fn with_volume(self, volume: f64) -> Self {
+        self.volume(volume)
+    }
+}
+
+pub struct LiveConfig {
+    pub journal: bool,
+}
+
+impl LiveConfig {
+    pub fn with_journal(mut self) -> Self {
+        self.journal = true;
+        self
+    }
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: a `with_*` builder method inside an `impl` of a
+//! public spec type, with no `#[deprecated]` escape hatch. Expect one
+//! `spec-builder-naming` finding.
+
+pub struct WidgetSpec {
+    pub volume: f64,
+}
+
+impl WidgetSpec {
+    pub fn with_volume(mut self, volume: f64) -> Self {
+        self.volume = volume;
+        self
+    }
+}

@@ -56,10 +56,10 @@ pub fn run(block_ms: u64, seconds: u64, seed: u64) -> BufRun {
             // Decode billed at the paper's direct transform cost; the
             // calibration constants assume it.
             SpeakerSpec::new("eon4000", group)
-                .with_device_geometry(SPEAKER_RING, 50)
-                .with_asap_playback()
-                .with_cost_model(es_codec::CostModel::Direct)
-                .with_cpu(cpu.clone()),
+                .device_geometry(SPEAKER_RING, 50)
+                .asap_playback()
+                .cost_model(es_codec::CostModel::Direct)
+                .cpu(cpu.clone()),
         )
         .build();
     sys.run_until(SimTime::from_secs(seconds));

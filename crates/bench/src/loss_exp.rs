@@ -70,7 +70,7 @@ pub fn run_configured(
             .playout_delay(SimDuration::from_millis(450));
     }
     let spk_spec = if plc {
-        SpeakerSpec::new("es", group).with_loss_concealment()
+        SpeakerSpec::new("es", group).loss_concealment()
     } else {
         SpeakerSpec::new("es", group)
     };

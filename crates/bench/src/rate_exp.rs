@@ -55,7 +55,7 @@ pub fn run(limited: bool, clip_seconds: u64, seed: u64) -> RateRun {
         .channel(spec)
         // The paper-era speaker: single player thread, ~2 s of receive
         // queue (40 packets of 50 ms).
-        .speaker(SpeakerSpec::new("es", group).with_serial_pipeline(40))
+        .speaker(SpeakerSpec::new("es", group).serial_pipeline(40))
         .build();
     sys.run_until(SimTime::from_secs(clip_seconds + 5));
 

@@ -81,7 +81,7 @@ pub fn run_epsilon(epsilon_ms: u64, seed: u64) -> EpsilonRun {
     let mut sys = SystemBuilder::new(seed)
         .lan(LanConfig::lossy(0.0, SimDuration::from_millis(8)))
         .channel(spec)
-        .speaker(SpeakerSpec::new("es", group).with_epsilon(SimDuration::from_millis(epsilon_ms)))
+        .speaker(SpeakerSpec::new("es", group).epsilon(SimDuration::from_millis(epsilon_ms)))
         .build();
     sys.run_until(SimTime::from_secs(11));
     let st = sys.speaker(0).expect("speaker").stats();

@@ -27,7 +27,7 @@
 #![deny(rust_2018_idioms)]
 
 use es_core::prelude::CompressionPolicy;
-use es_core::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
+use es_core::{ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder};
 use es_net::{LanConfig, McastGroup};
 use es_sim::{SimDuration, SimTime};
 use es_telemetry::MetricsSnapshot;
@@ -58,6 +58,17 @@ pub enum Fault {
     RestartProducer {
         /// Channel index (declaration order).
         channel: usize,
+    },
+    /// Multicast FLUSH to every live session: receivers drop their
+    /// clocks and re-gate on the next control packet. Requires
+    /// [`Scenario::negotiated`].
+    FlushSessions,
+    /// Broker-side TEARDOWN of one speaker's session (the receiver
+    /// auto-rejoins by re-discovering). Requires
+    /// [`Scenario::negotiated`].
+    TeardownSpeaker {
+        /// Speaker index (declaration order).
+        speaker: usize,
     },
 }
 
@@ -147,6 +158,7 @@ pub struct Scenario {
     lan: LanConfig,
     speakers: usize,
     conceal_loss: bool,
+    negotiated: bool,
     clicks: bool,
     fec_group: Option<u8>,
     stream: SimDuration,
@@ -167,6 +179,7 @@ impl Scenario {
             lan: LanConfig::default(),
             speakers: 2,
             conceal_loss: false,
+            negotiated: false,
             clicks: false,
             fec_group: None,
             stream: SimDuration::from_secs(8),
@@ -194,6 +207,15 @@ impl Scenario {
     /// Enables packet-loss concealment on every speaker.
     pub fn conceal_loss(mut self) -> Self {
         self.conceal_loss = true;
+        self
+    }
+
+    /// Speakers join by session handshake (DISCOVER → SETUP on announce
+    /// group 0) instead of static group wiring, and the producer runs a
+    /// session broker. Enables [`Fault::FlushSessions`] and
+    /// [`Fault::TeardownSpeaker`].
+    pub fn negotiated(mut self) -> Self {
+        self.negotiated = true;
         self
     }
 
@@ -259,9 +281,9 @@ impl Scenario {
 
     fn build(&self, seed: u64) -> EsSystem {
         let group = McastGroup(1);
+        let channel_name = format!("chaos-{}", self.name);
         let mut b = SystemBuilder::new(seed).lan(self.lan).channel({
-            let mut ch =
-                ChannelSpec::new(1, group, format!("chaos-{}", self.name)).duration(self.stream);
+            let mut ch = ChannelSpec::new(1, group, channel_name.clone()).duration(self.stream);
             ch = if self.clicks {
                 // 4 clicks/s of CD stereo, uncompressed.
                 ch.source(Source::Impulses(11_025))
@@ -274,10 +296,17 @@ impl Scenario {
             }
             ch
         });
+        if self.negotiated {
+            b = b.sessions(SessionSpec::new(McastGroup(0)));
+        }
         for i in 0..self.speakers {
-            let mut spec = SpeakerSpec::new(format!("es{i}"), group);
+            let mut spec = if self.negotiated {
+                SpeakerSpec::negotiated(format!("es{i}"), channel_name.clone())
+            } else {
+                SpeakerSpec::new(format!("es{i}"), group)
+            };
             if self.conceal_loss {
-                spec = spec.with_loss_concealment();
+                spec = spec.loss_concealment();
             }
             b = b.speaker(spec);
         }
@@ -332,6 +361,22 @@ impl Scenario {
                 Fault::RestartProducer { channel } => {
                     let rb = sys.rebroadcaster(*channel).clone();
                     sys.sim.schedule_in(at, move |sim| rb.restart(sim));
+                }
+                Fault::FlushSessions => {
+                    let broker = sys
+                        .broker()
+                        .expect("FlushSessions requires .negotiated()")
+                        .clone();
+                    sys.sim.schedule_in(at, move |sim| broker.flush_all(sim));
+                }
+                Fault::TeardownSpeaker { speaker } => {
+                    let broker = sys
+                        .broker()
+                        .expect("TeardownSpeaker requires .negotiated()")
+                        .clone();
+                    let name = format!("es{speaker}");
+                    sys.sim
+                        .schedule_in(at, move |sim| broker.teardown_speaker(sim, &name));
                 }
             }
         }

@@ -13,6 +13,7 @@ use es_audio::AudioConfig;
 use es_codec::CostModel;
 use es_net::{Lan, LanConfig, McastGroup};
 use es_proto::auth::StreamSigner;
+use es_proto::{Capabilities, SessionClientConfig, StreamInfo};
 use es_rebroadcast::{
     AppPacing, AudioApp, CompressionPolicy, RateLimiter, Rebroadcaster, RebroadcasterConfig,
 };
@@ -21,6 +22,8 @@ use es_speaker::{AmbientProfile, AutoVolumeConfig, EthernetSpeaker, SpeakerConfi
 use es_telemetry::{Journal, MetricsSnapshot, Registry, Telemetry};
 
 use crate::catalog::CatalogAnnouncer;
+use crate::error::Error;
+use crate::session_ctl::{stream_info_for, NegotiatedSpeaker, SessionBroker};
 
 /// What an audio application plays into a channel.
 #[derive(Debug, Clone)]
@@ -208,20 +211,42 @@ impl ChannelSpec {
 }
 
 /// One speaker: where it listens and when it powers on.
+///
+/// Builder methods use bare field names (`epsilon`, `volume`, …), the
+/// same convention as [`ChannelSpec`] and [`SessionSpec`]; the old
+/// `with_*` spellings remain as deprecated aliases for one release.
 pub struct SpeakerSpec {
     /// Speaker configuration.
     pub config: SpeakerConfig,
     /// When the speaker joins (mid-stream joins exercise §3.2).
     pub start_at: SimDuration,
+    /// Channel to join by handshake instead of static group wiring.
+    /// `Some` makes this a negotiated speaker and requires
+    /// [`SystemBuilder::sessions`].
+    pub channel: Option<String>,
+    /// Capabilities advertised during the handshake (negotiated mode).
+    pub caps: Capabilities,
 }
 
 impl SpeakerSpec {
-    /// A default speaker on `group`, on from t=0.
+    /// A default speaker statically wired to `group`, on from t=0.
     pub fn new(name: impl Into<String>, group: McastGroup) -> Self {
         SpeakerSpec {
             config: SpeakerConfig::new(name, group),
             start_at: SimDuration::ZERO,
+            channel: None,
+            caps: Capabilities::any(),
         }
+    }
+
+    /// A speaker that joins `channel` via the session handshake: it
+    /// discovers the line-up on the announce group, negotiates codec
+    /// and playout delay, and only then tunes to the granted data
+    /// group. Requires [`SystemBuilder::sessions`].
+    pub fn negotiated(name: impl Into<String>, channel: impl Into<String>) -> Self {
+        let mut spec = SpeakerSpec::new(name, McastGroup(0));
+        spec.channel = Some(channel.into());
+        spec
     }
 
     /// Sets the power-on time.
@@ -230,66 +255,194 @@ impl SpeakerSpec {
         self
     }
 
+    /// Sets the capabilities advertised in the handshake.
+    pub fn caps(mut self, caps: Capabilities) -> Self {
+        self.caps = caps;
+        self
+    }
+
     /// Sets the §3.2 epsilon.
-    pub fn with_epsilon(mut self, eps: SimDuration) -> Self {
+    pub fn epsilon(mut self, eps: SimDuration) -> Self {
         self.config.epsilon = eps;
         self
     }
 
     /// Enables auth with a trust anchor.
-    pub fn with_auth_anchor(mut self, anchor: [u8; 32]) -> Self {
+    pub fn auth_anchor(mut self, anchor: [u8; 32]) -> Self {
         self.config.auth_anchor = Some(anchor);
         self
     }
 
     /// Bills decode work to a CPU model.
-    pub fn with_cpu(mut self, cpu: Shared<SimCpu>) -> Self {
+    pub fn cpu(mut self, cpu: Shared<SimCpu>) -> Self {
         self.config.cpu = Some(cpu);
         self
     }
 
     /// Enables ambient-tracking auto-volume.
-    pub fn with_auto_volume(mut self, avc: AutoVolumeConfig, profile: AmbientProfile) -> Self {
+    pub fn auto_volume(mut self, avc: AutoVolumeConfig, profile: AmbientProfile) -> Self {
         self.config.auto_volume = Some((avc, profile));
         self
     }
 
     /// Switches to the §3.4 single-threaded player with the given
     /// receive-queue depth.
-    pub fn with_serial_pipeline(mut self, queue_depth: usize) -> Self {
+    pub fn serial_pipeline(mut self, queue_depth: usize) -> Self {
         self.config.serial_queue_depth = Some(queue_depth);
         self
     }
 
     /// Overrides the audio device geometry (ring capacity, block ms).
-    pub fn with_device_geometry(mut self, ring_capacity: usize, block_ms: u64) -> Self {
+    pub fn device_geometry(mut self, ring_capacity: usize, block_ms: u64) -> Self {
         self.config.device_ring_capacity = ring_capacity;
         self.config.device_block_ms = block_ms;
         self
     }
 
     /// Sets the fixed volume gain.
-    pub fn with_volume(mut self, volume: f64) -> Self {
+    pub fn volume(mut self, volume: f64) -> Self {
         self.config.volume = volume;
         self
     }
 
     /// Plays packets as soon as decoded, ignoring deadlines (the early
     /// ES of §3.4).
-    pub fn with_asap_playback(mut self) -> Self {
+    pub fn asap_playback(mut self) -> Self {
         self.config.asap_playback = true;
         self
     }
 
     /// Enables packet-loss concealment (replay-and-fade).
-    pub fn with_loss_concealment(mut self) -> Self {
+    pub fn loss_concealment(mut self) -> Self {
         self.config.conceal_loss = true;
         self
     }
 
     /// Selects how transform decode work is billed to the CPU model.
-    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
         self.config.cost_model = cost_model;
+        self
+    }
+
+    /// Deprecated alias of [`Self::epsilon`].
+    #[deprecated(since = "0.1.0", note = "renamed to `epsilon`")]
+    pub fn with_epsilon(self, eps: SimDuration) -> Self {
+        self.epsilon(eps)
+    }
+
+    /// Deprecated alias of [`Self::auth_anchor`].
+    #[deprecated(since = "0.1.0", note = "renamed to `auth_anchor`")]
+    pub fn with_auth_anchor(self, anchor: [u8; 32]) -> Self {
+        self.auth_anchor(anchor)
+    }
+
+    /// Deprecated alias of [`Self::cpu`].
+    #[deprecated(since = "0.1.0", note = "renamed to `cpu`")]
+    pub fn with_cpu(self, cpu: Shared<SimCpu>) -> Self {
+        self.cpu(cpu)
+    }
+
+    /// Deprecated alias of [`Self::auto_volume`].
+    #[deprecated(since = "0.1.0", note = "renamed to `auto_volume`")]
+    pub fn with_auto_volume(self, avc: AutoVolumeConfig, profile: AmbientProfile) -> Self {
+        self.auto_volume(avc, profile)
+    }
+
+    /// Deprecated alias of [`Self::serial_pipeline`].
+    #[deprecated(since = "0.1.0", note = "renamed to `serial_pipeline`")]
+    pub fn with_serial_pipeline(self, queue_depth: usize) -> Self {
+        self.serial_pipeline(queue_depth)
+    }
+
+    /// Deprecated alias of [`Self::device_geometry`].
+    #[deprecated(since = "0.1.0", note = "renamed to `device_geometry`")]
+    pub fn with_device_geometry(self, ring_capacity: usize, block_ms: u64) -> Self {
+        self.device_geometry(ring_capacity, block_ms)
+    }
+
+    /// Deprecated alias of [`Self::volume`].
+    #[deprecated(since = "0.1.0", note = "renamed to `volume`")]
+    pub fn with_volume(self, volume: f64) -> Self {
+        self.volume(volume)
+    }
+
+    /// Deprecated alias of [`Self::asap_playback`].
+    #[deprecated(since = "0.1.0", note = "renamed to `asap_playback`")]
+    pub fn with_asap_playback(self) -> Self {
+        self.asap_playback()
+    }
+
+    /// Deprecated alias of [`Self::loss_concealment`].
+    #[deprecated(since = "0.1.0", note = "renamed to `loss_concealment`")]
+    pub fn with_loss_concealment(self) -> Self {
+        self.loss_concealment()
+    }
+
+    /// Deprecated alias of [`Self::cost_model`].
+    #[deprecated(since = "0.1.0", note = "renamed to `cost_model`")]
+    pub fn with_cost_model(self, cost_model: CostModel) -> Self {
+        self.cost_model(cost_model)
+    }
+}
+
+/// Control-plane configuration: the announce group sessions are
+/// negotiated on, plus the handshake's timers. Defaults match
+/// [`SessionClientConfig::new`].
+pub struct SessionSpec {
+    /// Group DISCOVER/OFFER (and the catalog, if enabled) run on.
+    pub announce_group: McastGroup,
+    /// DISCOVER period while a receiver is unattached.
+    pub discover_interval: SimDuration,
+    /// SETUP retransmit period.
+    pub setup_retry: SimDuration,
+    /// KEEPALIVE period while established.
+    pub keepalive_interval: SimDuration,
+    /// Silence after which either side declares the session dead.
+    pub session_timeout: SimDuration,
+    /// How often the broker sweeps its tables for expired sessions.
+    pub sweep_interval: SimDuration,
+}
+
+impl SessionSpec {
+    /// Control plane on `announce_group` with simulator-scale timers.
+    pub fn new(announce_group: McastGroup) -> Self {
+        SessionSpec {
+            announce_group,
+            discover_interval: SimDuration::from_millis(300),
+            setup_retry: SimDuration::from_millis(400),
+            keepalive_interval: SimDuration::from_secs(1),
+            session_timeout: SimDuration::from_millis(2_500),
+            sweep_interval: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Sets the DISCOVER period.
+    pub fn discover_interval(mut self, d: SimDuration) -> Self {
+        self.discover_interval = d;
+        self
+    }
+
+    /// Sets the SETUP retransmit period.
+    pub fn setup_retry(mut self, d: SimDuration) -> Self {
+        self.setup_retry = d;
+        self
+    }
+
+    /// Sets the KEEPALIVE period.
+    pub fn keepalive_interval(mut self, d: SimDuration) -> Self {
+        self.keepalive_interval = d;
+        self
+    }
+
+    /// Sets the session-loss timeout.
+    pub fn session_timeout(mut self, d: SimDuration) -> Self {
+        self.session_timeout = d;
+        self
+    }
+
+    /// Sets the broker's expiry-sweep period.
+    pub fn sweep_interval(mut self, d: SimDuration) -> Self {
+        self.sweep_interval = d;
         self
     }
 }
@@ -301,6 +454,7 @@ pub struct SystemBuilder {
     channels: Vec<ChannelSpec>,
     speakers: Vec<SpeakerSpec>,
     announce_group: Option<McastGroup>,
+    sessions: Option<SessionSpec>,
 }
 
 impl SystemBuilder {
@@ -312,6 +466,7 @@ impl SystemBuilder {
             channels: Vec::new(),
             speakers: Vec::new(),
             announce_group: None,
+            sessions: None,
         }
     }
 
@@ -339,6 +494,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables the session control plane: a [`SessionBroker`] on the
+    /// producer host answers DISCOVER/SETUP on the spec's announce
+    /// group, and [`SpeakerSpec::negotiated`] speakers become legal.
+    pub fn sessions(mut self, spec: SessionSpec) -> Self {
+        self.sessions = Some(spec);
+        self
+    }
+
     /// Pins the fleet executor to `n` decode lanes for this process
     /// (`0` restores the `ES_FLEET_THREADS` / hardware default). The
     /// merge is deterministic, so this only changes wall-clock speed —
@@ -348,10 +511,45 @@ impl SystemBuilder {
         self
     }
 
-    /// Assembles the system. Applications and speakers with start
-    /// delays are scheduled; nothing runs until
-    /// [`EsSystem::run_for`]/[`EsSystem::run_until`].
+    /// Assembles the system, panicking on invalid configuration. See
+    /// [`Self::try_build`] for the fallible form.
     pub fn build(self) -> EsSystem {
+        match self.try_build() {
+            Ok(sys) => sys,
+            Err(e) => panic!("invalid system configuration: {e}"),
+        }
+    }
+
+    /// Validates the configuration and assembles the system.
+    /// Applications and speakers with start delays are scheduled;
+    /// nothing runs until [`EsSystem::run_for`]/[`EsSystem::run_until`].
+    pub fn try_build(self) -> Result<EsSystem, Error> {
+        let mut seen_ids = std::collections::BTreeSet::new();
+        for ch in &self.channels {
+            if !seen_ids.insert(ch.stream_id) {
+                return Err(Error::Config(format!(
+                    "duplicate stream id {}",
+                    ch.stream_id
+                )));
+            }
+        }
+        for spec in &self.speakers {
+            if let Some(channel) = &spec.channel {
+                if self.sessions.is_none() {
+                    return Err(Error::Config(format!(
+                        "negotiated speaker '{}' requires sessions(SessionSpec)",
+                        spec.config.name
+                    )));
+                }
+                if !self.channels.iter().any(|c| &c.name == channel) {
+                    return Err(Error::Config(format!(
+                        "negotiated speaker '{}' wants unknown channel '{}'",
+                        spec.config.name, channel
+                    )));
+                }
+            }
+        }
+
         let mut sim = Sim::new(self.seed);
         let journal = Journal::new();
         let lan = Lan::new(self.lan);
@@ -360,7 +558,7 @@ impl SystemBuilder {
 
         let mut rebroadcasters = Vec::new();
         let mut apps: Vec<Shared<Option<AudioApp>>> = Vec::new();
-        let mut catalog_entries = Vec::new();
+        let mut stream_infos: Vec<StreamInfo> = Vec::new();
 
         for ch in self.channels {
             lan.join(producer_node, ch.group);
@@ -386,7 +584,16 @@ impl SystemBuilder {
             rcfg.cost_model = ch.cost_model;
             let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer_node, master, rcfg);
             rb.set_journal(journal.clone());
-            catalog_entries.push((ch.stream_id, ch.group, ch.name.clone(), ch.config, ch.flags));
+            // The advertised entry carries the real codec selection and
+            // capability set, derived from the channel's policy.
+            stream_infos.push(stream_info_for(
+                ch.stream_id,
+                ch.group,
+                &ch.name,
+                ch.config,
+                ch.flags,
+                &ch.policy,
+            ));
 
             // The application starts at its delay.
             let slave = Rc::new(slave);
@@ -412,23 +619,62 @@ impl SystemBuilder {
                 lan.clone(),
                 producer_node,
                 group,
-                catalog_entries
+                stream_infos.clone(),
+            )
+        });
+
+        let broker = self.sessions.as_ref().map(|ses| {
+            SessionBroker::start(
+                &mut sim,
+                &lan,
+                producer_node,
+                ses.announce_group,
+                stream_infos
                     .iter()
-                    .map(|(id, g, name, cfg, flags)| es_proto::StreamInfo {
-                        stream_id: *id,
-                        group: g.0,
-                        name: name.clone(),
-                        codec: 0,
-                        config: *cfg,
-                        flags: *flags,
-                    })
+                    .cloned()
+                    .zip(rebroadcasters.iter().cloned())
                     .collect(),
+                ses.session_timeout,
+                ses.sweep_interval,
+                Some(journal.clone()),
             )
         });
 
         let mut speakers = Vec::new();
         for spec in self.speakers {
-            if spec.start_at.is_zero() {
+            if let Some(channel) = spec.channel {
+                let ses = self.sessions.as_ref().expect("validated above");
+                let mut ccfg = SessionClientConfig::new(spec.config.name.clone(), channel);
+                ccfg.caps = spec.caps.clone();
+                ccfg.discover_interval_us = ses.discover_interval.as_micros();
+                ccfg.setup_retry_us = ses.setup_retry.as_micros();
+                ccfg.keepalive_interval_us = ses.keepalive_interval.as_micros();
+                ccfg.session_timeout_us = ses.session_timeout.as_micros();
+                let announce = ses.announce_group;
+                if spec.start_at.is_zero() {
+                    let ns = NegotiatedSpeaker::start(
+                        &mut sim,
+                        &lan,
+                        spec.config,
+                        announce,
+                        ccfg,
+                        Some(journal.clone()),
+                    );
+                    speakers.push(SpeakerHandle::Negotiated(ns));
+                } else {
+                    let slot: Shared<Option<NegotiatedSpeaker>> = es_sim::shared(None);
+                    let slot2 = slot.clone();
+                    let lan2 = lan.clone();
+                    let cfg = spec.config;
+                    let j2 = journal.clone();
+                    sim.schedule_in(spec.start_at, move |sim| {
+                        let ns =
+                            NegotiatedSpeaker::start(sim, &lan2, cfg, announce, ccfg, Some(j2));
+                        *slot2.borrow_mut() = Some(ns);
+                    });
+                    speakers.push(SpeakerHandle::DeferredNegotiated(slot));
+                }
+            } else if spec.start_at.is_zero() {
                 let spk = EthernetSpeaker::start(&mut sim, &lan, spec.config);
                 spk.set_journal(journal.clone());
                 speakers.push(SpeakerHandle::Ready(spk));
@@ -447,21 +693,24 @@ impl SystemBuilder {
             }
         }
 
-        EsSystem {
+        Ok(EsSystem {
             sim,
             lan,
             rebroadcasters,
             apps,
             speakers,
             announcer,
+            broker,
             journal,
-        }
+        })
     }
 }
 
 enum SpeakerHandle {
     Ready(EthernetSpeaker),
     Deferred(Shared<Option<EthernetSpeaker>>),
+    Negotiated(NegotiatedSpeaker),
+    DeferredNegotiated(Shared<Option<NegotiatedSpeaker>>),
 }
 
 /// A built deployment.
@@ -473,6 +722,7 @@ pub struct EsSystem {
     apps: Vec<Shared<Option<AudioApp>>>,
     speakers: Vec<SpeakerHandle>,
     announcer: Option<CatalogAnnouncer>,
+    broker: Option<SessionBroker>,
     journal: Journal,
 }
 
@@ -503,11 +753,26 @@ impl EsSystem {
         self.apps[i].borrow().clone()
     }
 
-    /// Speaker `i` (None before its power-on time).
+    /// Speaker `i` (None before its power-on time). Negotiated
+    /// speakers resolve to their underlying [`EthernetSpeaker`].
     pub fn speaker(&self, i: usize) -> Option<EthernetSpeaker> {
         match &self.speakers[i] {
             SpeakerHandle::Ready(s) => Some(s.clone()),
             SpeakerHandle::Deferred(slot) => slot.borrow().clone(),
+            SpeakerHandle::Negotiated(ns) => Some(ns.speaker().clone()),
+            SpeakerHandle::DeferredNegotiated(slot) => {
+                slot.borrow().as_ref().map(|ns| ns.speaker().clone())
+            }
+        }
+    }
+
+    /// The negotiated-session wrapper for speaker `i` (None for
+    /// statically wired speakers or before power-on).
+    pub fn session(&self, i: usize) -> Option<NegotiatedSpeaker> {
+        match &self.speakers[i] {
+            SpeakerHandle::Negotiated(ns) => Some(ns.clone()),
+            SpeakerHandle::DeferredNegotiated(slot) => slot.borrow().clone(),
+            _ => None,
         }
     }
 
@@ -519,6 +784,11 @@ impl EsSystem {
     /// The catalog announcer, if enabled.
     pub fn announcer(&self) -> Option<&CatalogAnnouncer> {
         self.announcer.as_ref()
+    }
+
+    /// The session broker, if [`SystemBuilder::sessions`] was set.
+    pub fn broker(&self) -> Option<&SessionBroker> {
+        self.broker.as_ref()
     }
 
     /// The system-wide event journal (virtual-time stamps).
@@ -550,10 +820,17 @@ impl EsSystem {
             reg.set_instance(&spk.name());
             spk.record_telemetry(&mut reg);
             spk.device().stats().record(&mut reg);
+            if let Some(ns) = self.session(i) {
+                ns.record_telemetry(&mut reg);
+            }
         }
         if let Some(a) = &self.announcer {
             reg.set_instance("catalog");
             reg.component("net").counter("announcements_sent", a.sent());
+        }
+        if let Some(b) = &self.broker {
+            reg.set_instance("broker");
+            b.record_telemetry(&mut reg);
         }
         reg.snapshot()
     }
@@ -640,6 +917,63 @@ mod tests {
         // It waited for a control packet, then played.
         assert!(st.samples_played > 0, "{st:?}");
         assert!(st.control_packets > 0);
+    }
+
+    #[test]
+    fn negotiated_speaker_joins_and_plays() {
+        let mut sys = SystemBuilder::new(7)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .sessions(SessionSpec::new(McastGroup(0)))
+            .speaker(SpeakerSpec::negotiated("es1", "radio"))
+            .build();
+        sys.run_for(SimDuration::from_secs(6));
+        let ns = sys.session(0).expect("negotiated handle");
+        assert_eq!(ns.phase(), es_proto::ClientPhase::Established);
+        assert!(ns.session_id().is_some());
+        let st = sys.speaker(0).unwrap().stats();
+        assert!(st.samples_played > 100_000, "{st:?}");
+        assert_eq!(st.bad_packets, 0);
+        let broker = sys.broker().unwrap();
+        assert_eq!(broker.sessions_active(), 1);
+        assert!(broker.stats().acks >= 1);
+    }
+
+    #[test]
+    fn try_build_rejects_bad_configs() {
+        let err = |r: Result<EsSystem, Error>| match r {
+            Ok(_) => panic!("expected a config error"),
+            Err(e) => e,
+        };
+        let e = err(SystemBuilder::new(1)
+            .channel(ChannelSpec::new(1, McastGroup(1), "a"))
+            .channel(ChannelSpec::new(1, McastGroup(2), "b"))
+            .try_build());
+        assert!(matches!(e, crate::Error::Config(_)), "{e}");
+
+        let e = err(SystemBuilder::new(1)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .speaker(SpeakerSpec::negotiated("es1", "radio"))
+            .try_build());
+        assert!(e.to_string().contains("requires sessions"), "{e}");
+
+        let e = err(SystemBuilder::new(1)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .sessions(SessionSpec::new(McastGroup(0)))
+            .speaker(SpeakerSpec::negotiated("es1", "jazz"))
+            .try_build());
+        assert!(e.to_string().contains("unknown channel"), "{e}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_aliases_still_work() {
+        let spec = SpeakerSpec::new("es1", McastGroup(1))
+            .with_epsilon(SimDuration::from_millis(3))
+            .with_volume(0.5)
+            .with_loss_concealment();
+        assert_eq!(spec.config.epsilon, SimDuration::from_millis(3));
+        assert_eq!(spec.config.volume, 0.5);
+        assert!(spec.config.conceal_loss);
     }
 
     #[test]

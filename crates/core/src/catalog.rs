@@ -156,6 +156,11 @@ mod tests {
             codec: 3,
             config: AudioConfig::CD,
             flags: 0,
+            caps: es_proto::Capabilities {
+                codecs: vec![0, 3],
+                sample_rates: vec![44_100],
+                device_class: es_proto::DeviceClass::Standard,
+            },
         }
     }
 

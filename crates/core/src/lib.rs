@@ -25,15 +25,19 @@
 
 pub mod builder;
 pub mod catalog;
+pub mod error;
 pub mod live;
 pub mod override_ctl;
+pub mod session_ctl;
 
-pub use builder::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
+pub use builder::{ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder};
 pub use catalog::{CatalogAnnouncer, ChannelBrowser};
+pub use error::Error;
 pub use live::{
     run_live_producer, run_live_speaker, LiveProducerConfig, LiveProducerReport, LiveSpeakerReport,
 };
 pub use override_ctl::{OverrideController, OverrideStats};
+pub use session_ctl::{BrokerStats, NegotiatedSpeaker, SessionBroker};
 
 /// The common imports: everything a typical scenario script touches.
 ///
@@ -47,11 +51,16 @@ pub use override_ctl::{OverrideController, OverrideStats};
 /// sys.run_for(SimDuration::from_secs(1));
 /// ```
 pub mod prelude {
-    pub use crate::builder::{ChannelSpec, EsSystem, Source, SpeakerSpec, SystemBuilder};
+    pub use crate::builder::{
+        ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder,
+    };
     pub use crate::catalog::{CatalogAnnouncer, ChannelBrowser};
+    pub use crate::error::Error;
     pub use crate::override_ctl::{OverrideController, OverrideStats};
+    pub use crate::session_ctl::{NegotiatedSpeaker, SessionBroker};
     pub use es_audio::AudioConfig;
     pub use es_net::{Lan, LanConfig, McastGroup};
+    pub use es_proto::{Capabilities, ClientPhase, DeviceClass, SessionPacket};
     pub use es_rebroadcast::{AppPacing, CompressionPolicy, RateLimiter};
     pub use es_sim::{Sim, SimDuration, SimTime};
     pub use es_speaker::{EthernetSpeaker, SpeakerConfig};

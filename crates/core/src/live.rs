@@ -16,7 +16,6 @@
 //!
 //! [`SystemBuilder::fleet_threads`]: crate::builder::SystemBuilder::fleet_threads
 
-use std::io;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -109,7 +108,7 @@ pub fn run_live_producer(
     cfg: &LiveProducerConfig,
     signal: &mut dyn Signal,
     duration: Duration,
-) -> io::Result<LiveProducerReport> {
+) -> Result<LiveProducerReport, crate::Error> {
     let tx = McastSender::new(cfg.channel, cfg.port)?;
     let codecs = Codecs::new();
     let start = Instant::now();
@@ -238,7 +237,7 @@ pub fn run_live_speaker(
     port: u16,
     run_for: Duration,
     journal: Option<Journal>,
-) -> io::Result<LiveSpeakerReport> {
+) -> Result<LiveSpeakerReport, crate::Error> {
     let rx = McastReceiver::join(channel, port, Duration::from_millis(100))?;
     let codecs = Codecs::new();
     let start = Instant::now();
@@ -279,6 +278,9 @@ pub fn run_live_speaker(
             // Loopback does not lose packets; the live collector skips
             // FEC recovery (the simulator exercises it under real loss).
             Ok(Packet::Parity(_)) => {}
+            // The live collector is statically tuned; session control
+            // is the negotiated path's concern.
+            Ok(Packet::Session(_)) => {}
             Err(_) => report.bad_packets += 1,
         }
     }

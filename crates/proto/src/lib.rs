@@ -14,6 +14,9 @@
 //!   links, keeping the producer stateless and speakers receive-only).
 //! - [`monitor`]: RFC 3550-style reception quality (jitter, loss,
 //!   reorder) — the numbers §5.3's management MIB would export.
+//! - [`session`]: the negotiated control plane — discovery, capability
+//!   negotiation, per-receiver sessions with keepalive/flush/teardown —
+//!   as pure, deterministic state machines over the same framing.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -23,6 +26,7 @@ pub mod crc;
 pub mod fec;
 pub mod monitor;
 pub mod packet;
+pub mod session;
 pub mod sha256;
 
 pub use auth::{AuthTrailer, StreamSigner, StreamVerifier, TRAILER_LEN};
@@ -33,4 +37,9 @@ pub use packet::{
     encode_data, encode_data_into, encode_parity, encode_parity_into, AnnouncePacket,
     ControlPacket, DataPacket, Packet, StreamInfo, WireError, FLAG_AUTHENTICATED, FLAG_PRIORITY,
     RECOMMENDED_MAX_PAYLOAD,
+};
+pub use session::{
+    encode_session, encode_session_into, negotiate, Capabilities, ClientAction, ClientPhase,
+    DeviceClass, Grant, RefuseReason, SessionClient, SessionClientConfig, SessionEntry,
+    SessionError, SessionPacket, SessionTable, TeardownReason,
 };

@@ -24,6 +24,7 @@ use es_audio::{AudioConfig, Encoding};
 
 use crate::crc::crc32;
 use crate::fec::ParityPacket;
+use crate::session::{Capabilities, SessionPacket};
 
 /// Wire magic ("ES").
 pub const MAGIC: u16 = 0xE5AB;
@@ -131,6 +132,10 @@ pub struct StreamInfo {
     pub config: AudioConfig,
     /// Stream flags.
     pub flags: u16,
+    /// Capability advertisement: the codec set this stream may put on
+    /// the wire, its rate, and the device class it targets. Session
+    /// negotiation validates SETUPs against this.
+    pub caps: Capabilities,
 }
 
 /// The out-of-band catalog packet (§4.3's MFTP-style announcement).
@@ -155,6 +160,8 @@ pub enum Packet {
     Announce(AnnouncePacket),
     /// FEC parity (extension; see [`crate::fec`]).
     Parity(ParityPacket),
+    /// Session control plane (extension; see [`crate::session`]).
+    Session(SessionPacket),
 }
 
 impl Packet {
@@ -165,6 +172,7 @@ impl Packet {
             Packet::Data(d) => d.stream_id,
             Packet::Announce(_) => 0,
             Packet::Parity(p) => p.stream_id,
+            Packet::Session(s) => s.stream_id(),
         }
     }
 }
@@ -173,6 +181,7 @@ const TYPE_CONTROL: u8 = 1;
 const TYPE_DATA: u8 = 2;
 const TYPE_ANNOUNCE: u8 = 3;
 const TYPE_PARITY: u8 = 4;
+const TYPE_SESSION: u8 = 5;
 
 fn put_header(buf: &mut BytesMut, ptype: u8, stream_id: u16, seq: u32) {
     buf.put_u16_le(MAGIC);
@@ -210,6 +219,66 @@ fn get_config(buf: &mut impl Buf) -> Result<AudioConfig, WireError> {
 fn finish_into(buf: &mut BytesMut, start: usize) {
     let crc = crc32(&buf[start..]);
     buf.put_u32_le(crc);
+}
+
+/// Writes the common header for a session packet (the session module
+/// shares this framing rather than inventing its own).
+pub(crate) fn put_session_header(buf: &mut BytesMut, stream_id: u16, seq: u32) {
+    put_header(buf, TYPE_SESSION, stream_id, seq);
+}
+
+/// Appends the region CRC for a session packet.
+pub(crate) fn finish_session(buf: &mut BytesMut, start: usize) {
+    finish_into(buf, start);
+}
+
+/// Writes one catalog entry (shared by announce and session OFFER).
+pub(crate) fn put_stream_info(buf: &mut BytesMut, s: &StreamInfo) {
+    buf.put_u16_le(s.stream_id);
+    buf.put_u16_le(s.group);
+    let name = s.name.as_bytes();
+    let len = name.len().min(255);
+    buf.put_u8(len as u8);
+    buf.put_slice(&name[..len]);
+    buf.put_u8(s.codec);
+    put_config(buf, &s.config);
+    buf.put_u16_le(s.flags);
+    crate::session::put_caps(buf, &s.caps);
+}
+
+/// Reads one catalog entry (shared by announce and session OFFER).
+pub(crate) fn get_stream_info(buf: &mut &[u8]) -> Result<StreamInfo, WireError> {
+    if buf.remaining() < 5 {
+        return Err(WireError::TooShort);
+    }
+    let stream_id = buf.get_u16_le();
+    let group = buf.get_u16_le();
+    let name_len = buf.get_u8() as usize;
+    if buf.remaining() < name_len {
+        return Err(WireError::TooShort);
+    }
+    let name = String::from_utf8(buf[..name_len].to_vec())
+        .map_err(|_| WireError::BadField("stream name"))?;
+    buf.advance(name_len);
+    if buf.remaining() < 1 {
+        return Err(WireError::TooShort);
+    }
+    let codec = buf.get_u8();
+    let config = get_config(buf)?;
+    if buf.remaining() < 2 {
+        return Err(WireError::TooShort);
+    }
+    let flags = buf.get_u16_le();
+    let caps = crate::session::get_caps(buf)?;
+    Ok(StreamInfo {
+        stream_id,
+        group,
+        name,
+        codec,
+        config,
+        flags,
+        caps,
+    })
 }
 
 /// Serializes a control packet into `buf`, appending to any existing
@@ -264,15 +333,7 @@ pub fn encode_announce_into(p: &AnnouncePacket, buf: &mut BytesMut) {
     buf.put_u64_le(p.producer_time_us);
     buf.put_u16_le(p.streams.len() as u16);
     for s in &p.streams {
-        buf.put_u16_le(s.stream_id);
-        buf.put_u16_le(s.group);
-        let name = s.name.as_bytes();
-        let len = name.len().min(255);
-        buf.put_u8(len as u8);
-        buf.put_slice(&name[..len]);
-        buf.put_u8(s.codec);
-        put_config(buf, &s.config);
-        buf.put_u16_le(s.flags);
+        put_stream_info(buf, s);
     }
     finish_into(buf, start);
 }
@@ -380,35 +441,7 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
             }
             let mut streams = Vec::with_capacity(count);
             for _ in 0..count {
-                if buf.remaining() < 5 {
-                    return Err(WireError::TooShort);
-                }
-                let stream_id = buf.get_u16_le();
-                let group = buf.get_u16_le();
-                let name_len = buf.get_u8() as usize;
-                if buf.remaining() < name_len {
-                    return Err(WireError::TooShort);
-                }
-                let name = String::from_utf8(buf[..name_len].to_vec())
-                    .map_err(|_| WireError::BadField("stream name"))?;
-                buf.advance(name_len);
-                if buf.remaining() < 1 {
-                    return Err(WireError::TooShort);
-                }
-                let codec = buf.get_u8();
-                let config = get_config(&mut buf)?;
-                if buf.remaining() < 2 {
-                    return Err(WireError::TooShort);
-                }
-                let flags = buf.get_u16_le();
-                streams.push(StreamInfo {
-                    stream_id,
-                    group,
-                    name,
-                    codec,
-                    config,
-                    flags,
-                });
+                streams.push(get_stream_info(&mut buf)?);
             }
             if buf.has_remaining() {
                 return Err(WireError::BadField("trailing bytes"));
@@ -444,6 +477,9 @@ pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
                 payload: Bytes::copy_from_slice(buf),
             }))
         }
+        TYPE_SESSION => Ok(Packet::Session(crate::session::decode_session_body(
+            stream_id, seq, buf,
+        )?)),
         t => Err(WireError::BadType(t)),
     }
 }
@@ -518,6 +554,11 @@ mod tests {
                     codec: 3,
                     config: AudioConfig::CD,
                     flags: 0,
+                    caps: Capabilities {
+                        codecs: vec![0, 3],
+                        sample_rates: vec![44_100],
+                        device_class: crate::session::DeviceClass::Hifi,
+                    },
                 },
                 StreamInfo {
                     stream_id: 2,
@@ -526,6 +567,7 @@ mod tests {
                     codec: 0,
                     config: AudioConfig::PHONE,
                     flags: FLAG_PRIORITY,
+                    caps: Capabilities::any(),
                 },
             ],
         };
@@ -676,6 +718,11 @@ mod tests {
                 codec: 3,
                 config: AudioConfig::CD,
                 flags: 0,
+                caps: Capabilities {
+                    codecs: vec![3],
+                    sample_rates: vec![44_100],
+                    device_class: crate::session::DeviceClass::Standard,
+                },
             }],
         };
         let p = ParityPacket {

@@ -68,6 +68,29 @@ impl CompressionPolicy {
             }
         }
     }
+
+    /// The codec wire ids this policy could ever put on the wire for
+    /// `cfg` — the stream's capability advertisement. [`Self::Auto`]
+    /// advertises both its branches (uncompressed fallback plus the
+    /// compressed choice) because the rebroadcast application may
+    /// re-select as the configured rate changes; the fixed policies
+    /// advertise exactly their one codec. Sorted, deduplicated.
+    pub fn advertised_codecs(&self, cfg: &AudioConfig) -> Vec<u8> {
+        let mut out = match *self {
+            CompressionPolicy::Never => vec![CodecId::Pcm.to_wire()],
+            CompressionPolicy::Always { codec, .. } => vec![codec.to_wire()],
+            CompressionPolicy::Auto { .. } => {
+                let raw = match cfg.encoding {
+                    es_audio::Encoding::ULaw | es_audio::Encoding::ALaw => CodecId::ULaw,
+                    _ => CodecId::Pcm,
+                };
+                vec![self.select(cfg).0.to_wire(), raw.to_wire()]
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 impl Default for CompressionPolicy {

@@ -28,7 +28,8 @@ use es_codec::{CodecId, Codecs, CostModel};
 use es_net::{Lan, McastGroup, NodeId};
 use es_proto::auth::StreamSigner;
 use es_proto::{
-    encode_control_into, encode_data_into, ControlPacket, DataPacket, FLAG_AUTHENTICATED,
+    encode_control_into, encode_data_into, ControlPacket, DataPacket, SessionEntry, SessionTable,
+    FLAG_AUTHENTICATED,
 };
 use es_sim::{shared, RepeatingTimer, Shared, Sim, SimCpu, SimDuration, SimTime};
 use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
@@ -161,6 +162,10 @@ struct ProducerState {
     crashed: bool,
     stats: ProducerStats,
     parity_acc: Option<es_proto::ParityAccumulator>,
+    /// Negotiated receivers of this stream (empty in static mode). The
+    /// broker in `es-core` drives open/touch/expire; the table lives
+    /// here because its lifecycle counters are producer telemetry.
+    sessions: SessionTable,
     journal: Option<Journal>,
     /// Reusable packet-serialization buffer: every outgoing packet is
     /// encoded and signed in place here, then split off as a shared
@@ -203,6 +208,7 @@ impl Rebroadcaster {
             crashed: false,
             stats: ProducerStats::default(),
             parity_acc,
+            sessions: SessionTable::new(),
             journal: None,
             scratch: BytesMut::new(),
             cfg,
@@ -513,16 +519,135 @@ impl Rebroadcaster {
         self.state.borrow_mut().journal = Some(journal);
     }
 
-    /// Records producer counters, the compression ratio and rate-
-    /// limiter sleeps into `registry` under component `rebroadcast`.
+    /// Records a newly negotiated session for this stream.
+    pub fn open_session(&self, sim: &mut Sim, entry: SessionEntry) {
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            let j = st
+                .journal
+                .clone()
+                .map(|j| (j, entry.session_id, entry.speaker.clone(), st.cfg.stream_id));
+            st.sessions.open(entry);
+            j
+        };
+        if let Some((j, sid, speaker, stream_id)) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "rebroadcast",
+                "session opened",
+                &[
+                    ("session_id", sid.to_string()),
+                    ("speaker", speaker),
+                    ("stream_id", stream_id.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Refreshes a session's liveness (KEEPALIVE); false if unknown.
+    pub fn touch_session(&self, session_id: u32, now_us: u64) -> bool {
+        self.state.borrow_mut().sessions.touch(session_id, now_us)
+    }
+
+    /// Removes a session on TEARDOWN; returns the closed entry.
+    pub fn close_session(&self, sim: &mut Sim, session_id: u32) -> Option<SessionEntry> {
+        let (entry, journal) = {
+            let mut st = self.state.borrow_mut();
+            let e = st.sessions.close(session_id);
+            let j = st.journal.clone();
+            (e, j)
+        };
+        if let (Some(e), Some(j)) = (&entry, journal) {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "rebroadcast",
+                "session closed",
+                &[
+                    ("session_id", e.session_id.to_string()),
+                    ("speaker", e.speaker.clone()),
+                ],
+            );
+        }
+        entry
+    }
+
+    /// Expires sessions silent past `timeout_us`, journaling each;
+    /// the expired entries are returned so the broker can notify the
+    /// receivers with TEARDOWN packets.
+    pub fn expire_sessions(
+        &self,
+        sim: &mut Sim,
+        now_us: u64,
+        timeout_us: u64,
+    ) -> Vec<SessionEntry> {
+        let (dead, journal) = {
+            let mut st = self.state.borrow_mut();
+            let dead = st.sessions.expire(now_us, timeout_us);
+            let j = st.journal.clone();
+            (dead, j)
+        };
+        if let Some(j) = journal {
+            for e in &dead {
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Warn,
+                    "rebroadcast",
+                    "session expired",
+                    &[
+                        ("session_id", e.session_id.to_string()),
+                        ("speaker", e.speaker.clone()),
+                    ],
+                );
+            }
+        }
+        dead
+    }
+
+    /// The live session held by `speaker`, if any (SETUP retries from
+    /// a receiver that missed the ACK re-grant the same session).
+    pub fn find_session(&self, speaker: &str) -> Option<SessionEntry> {
+        self.state
+            .borrow()
+            .sessions
+            .find_by_speaker(speaker)
+            .cloned()
+    }
+
+    /// Live negotiated-session count for this stream.
+    pub fn sessions_active(&self) -> usize {
+        self.state.borrow().sessions.active()
+    }
+
+    /// Snapshot of every live session, ascending by session id.
+    pub fn session_entries(&self) -> Vec<SessionEntry> {
+        self.state.borrow().sessions.iter().cloned().collect()
+    }
+
+    /// Session lifecycle counters `(opened, expired, closed)`.
+    pub fn session_counts(&self) -> (u64, u64, u64) {
+        let st = self.state.borrow();
+        (st.sessions.opened, st.sessions.expired, st.sessions.closed)
+    }
+
+    /// Records producer counters, the compression ratio, rate-limiter
+    /// sleeps and session-table lifecycle into `registry` under
+    /// component `rebroadcast`.
     pub fn record_telemetry(&self, registry: &mut Registry) {
         let st = self.state.borrow();
         st.stats.record(registry);
         st.cfg.rate_limiter.stats().record(registry);
-        registry.component("rebroadcast").gauge(
-            "control_interval_ms",
-            st.cfg.control_interval.as_millis() as f64,
-        );
+        registry
+            .component("rebroadcast")
+            .gauge(
+                "control_interval_ms",
+                st.cfg.control_interval.as_millis() as f64,
+            )
+            .counter("sessions_opened", st.sessions.opened)
+            .counter("sessions_expired", st.sessions.expired)
+            .counter("sessions_closed", st.sessions.closed)
+            .gauge("sessions_active", st.sessions.active() as f64);
     }
 
     /// The stream's current audio configuration (meaningful once

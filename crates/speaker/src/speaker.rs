@@ -137,6 +137,8 @@ pub struct SpeakerStats {
     /// the stream clock (§3.2's "throwing away data up until the
     /// current wall time").
     pub playback_resyncs: u64,
+    /// Times a control-plane FLUSH re-gated playback (session mode).
+    pub session_resyncs: u64,
 }
 
 impl Telemetry for SpeakerStats {
@@ -156,7 +158,8 @@ impl Telemetry for SpeakerStats {
             .counter("concealed_packets", self.concealed_packets)
             .counter("fec_recovered", self.fec_recovered)
             .counter("dropped_duplicate", self.dropped_duplicate)
-            .counter("playback_resyncs", self.playback_resyncs);
+            .counter("playback_resyncs", self.playback_resyncs)
+            .counter("session_resyncs", self.session_resyncs);
     }
 }
 
@@ -251,7 +254,15 @@ struct SpkState {
     autovol: Option<AutoVolume>,
     dev_configured: bool,
     tuned: McastGroup,
+    /// Control-plane delegate: session packets arriving on any group
+    /// this node listens to are handed up here (the negotiated-mode
+    /// wrapper owns the handshake; the speaker stays a §2.3 radio).
+    session_hook: Option<SessionHook>,
 }
+
+/// Callback receiving control-plane packets (see
+/// [`EthernetSpeaker::set_session_handler`]).
+type SessionHook = Box<dyn FnMut(&mut Sim, es_proto::SessionPacket)>;
 
 /// A running Ethernet Speaker.
 #[derive(Clone)]
@@ -303,6 +314,7 @@ impl EthernetSpeaker {
             autovol,
             dev_configured: false,
             tuned,
+            session_hook: None,
             cfg,
         });
         let spk = EthernetSpeaker {
@@ -417,6 +429,42 @@ impl EthernetSpeaker {
     /// packets and the like).
     pub fn set_journal(&self, journal: Journal) {
         self.state.borrow_mut().journal = Some(journal);
+    }
+
+    /// Installs the control-plane delegate: session packets received
+    /// on any group this node listens to are handed to `f` instead of
+    /// being dropped. Used by the negotiated-session wrapper in
+    /// `es-core`; the speaker itself stays a stateless radio.
+    pub fn set_session_handler(&self, f: impl FnMut(&mut Sim, es_proto::SessionPacket) + 'static) {
+        self.state.borrow_mut().session_hook = Some(Box::new(f));
+    }
+
+    /// Control-plane FLUSH: drop playback state and re-gate on the
+    /// next control packet, exactly as a fresh tune-in would. The
+    /// producer uses this to resynchronize a fleet after a seek or a
+    /// stream restart.
+    pub fn resync(&self, sim: &mut Sim) {
+        let mut st = self.state.borrow_mut();
+        st.phase = Phase::WaitingForControl;
+        st.clock = ClockSync::new();
+        st.last_seq = None;
+        st.seen_seqs.clear();
+        st.stats.session_resyncs += 1;
+        if let Some(j) = st.journal.clone() {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "speaker",
+                "session flush resync",
+                &[("speaker", st.cfg.name.clone())],
+            );
+        }
+    }
+
+    /// Sets the fixed volume gain (the control plane's PARAM update;
+    /// auto-volume, when enabled, still multiplies on top).
+    pub fn set_volume(&self, volume: f64) {
+        self.state.borrow_mut().cfg.volume = volume;
     }
 
     /// Distribution of deadline slack seen by the §3.2 play decision.
@@ -575,6 +623,18 @@ impl EthernetSpeaker {
                 }
             }
             Packet::Announce(_) => { /* catalog handled by es-core's browser */ }
+            Packet::Session(sp) => {
+                // Take the hook out while calling it so the callback
+                // may re-enter speaker methods (tune, resync).
+                let hook = self.state.borrow_mut().session_hook.take();
+                if let Some(mut hook) = hook {
+                    hook(sim, sp);
+                    let mut st = self.state.borrow_mut();
+                    if st.session_hook.is_none() {
+                        st.session_hook = Some(hook);
+                    }
+                }
+            }
         }
     }
 

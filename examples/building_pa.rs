@@ -40,11 +40,10 @@ fn main() {
         .announce_on(catalog)
         .speaker(
             SpeakerSpec::new("lobby", music)
-                .with_auto_volume(AutoVolumeConfig::announcement(), lobby_noise),
+                .auto_volume(AutoVolumeConfig::announcement(), lobby_noise),
         )
         .speaker(
-            SpeakerSpec::new("office", music)
-                .with_auto_volume(AutoVolumeConfig::music(), office_noise),
+            SpeakerSpec::new("office", music).auto_volume(AutoVolumeConfig::music(), office_noise),
         )
         .build();
 

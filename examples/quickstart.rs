@@ -2,10 +2,17 @@
 //!
 //! Builds the paper's Figure 1 in the simulator — an application
 //! playing into the VAD, the rebroadcaster multicasting compressed
-//! audio, three speakers (one joining late, mid-stream) — runs ten
-//! virtual seconds, verifies everyone heard the same audio at the same
-//! time, and writes what the first speaker played to `quickstart.wav`
-//! so you can listen to it.
+//! audio, three speakers — runs ten virtual seconds, verifies everyone
+//! heard the same audio at the same time, and writes what the first
+//! speaker played to `quickstart.wav` so you can listen to it.
+//!
+//! Two of the speakers use the control plane (DESIGN.md §9): they
+//! discover the channel on the announce group, negotiate a codec and
+//! playout delay against their advertised capabilities, and join the
+//! data group the broker grants. The third is statically wired to the
+//! multicast group — the paper's original stateless mode, still the
+//! compat path — and powers on mid-stream, §3.2's hard case: it must
+//! wait for a control packet, then fall in step with the others.
 //!
 //! Run: `cargo run --example quickstart`
 
@@ -13,17 +20,19 @@ use es_core::prelude::*;
 
 fn main() {
     let group = McastGroup(1);
+    let announce = McastGroup(0);
     let channel = ChannelSpec::new(1, group, "campus-radio")
         .source(Source::Music)
         .duration(SimDuration::from_secs(12));
 
     let mut sys = SystemBuilder::new(42)
         .channel(channel)
-        .speaker(SpeakerSpec::new("lobby", group))
-        .speaker(SpeakerSpec::new("cafeteria", group))
+        .sessions(SessionSpec::new(announce))
+        .speaker(SpeakerSpec::negotiated("lobby", "campus-radio"))
+        .speaker(SpeakerSpec::negotiated("cafeteria", "campus-radio"))
         .speaker(
-            // Powered on mid-stream: §3.2's hard case. It must wait for
-            // a control packet, then fall in step with the others.
+            // Statically tuned, powered on mid-stream: the original
+            // stateless mode, no handshake, just the control-packet gate.
             SpeakerSpec::new("hallway", group).starting_at(SimDuration::from_secs(4)),
         )
         .build();
@@ -40,14 +49,31 @@ fn main() {
         rb.audio_bytes_in / 1024,
         rb.payload_bytes_out / 1024
     );
+    if let Some(broker) = sys.broker() {
+        let bs = broker.stats();
+        println!(
+            "  broker: {} discovers heard, {} sessions granted, {} active now",
+            bs.discovers,
+            bs.acks,
+            broker.sessions_active()
+        );
+    }
 
     println!("\nspeakers:");
     for i in 0..sys.speaker_count() {
         let spk = sys.speaker(i).expect("all speakers powered by now");
         let st = spk.stats();
         let secs = st.samples_played as f64 / (44_100.0 * 2.0);
+        let mode = match sys.session(i) {
+            Some(ns) => format!(
+                "session {} ({:?})",
+                ns.session_id().unwrap_or(0),
+                ns.phase()
+            ),
+            None => "static".into(),
+        };
         println!(
-            "  speaker {i}: {:.1}s played, {} control pkts, {} late drops, offset {:+} us",
+            "  speaker {i} [{mode}]: {:.1}s played, {} control pkts, {} late drops, offset {:+} us",
             secs,
             st.control_packets,
             st.dropped_late,
@@ -72,6 +98,7 @@ fn main() {
     for path in [
         "net/lan0/frames_delivered",
         "rebroadcast/ch0/rate_sleeps",
+        "session/broker/acks",
         "speaker/lobby/samples_played",
     ] {
         if let Some(v) = metrics.counter(path) {

@@ -71,4 +71,18 @@ diff -r target/chaos-a target/chaos-fleet || {
     exit 1
 }
 
+# Session-mode determinism gate: the negotiated-session scenarios
+# (discover → setup → stream → flush → teardown, plus the mid-handshake
+# partition) run twice in separate processes and their fingerprints
+# must match byte for byte — the control plane handshake, timeout
+# sweeps, and re-discovery backoff are all on the deterministic clock.
+echo "== session determinism (negotiated scenarios, cross-process)"
+rm -rf target/session-a target/session-b
+ES_CHAOS_SEED=11 ES_CHAOS_FP_DIR=target/session-a cargo test -q --test chaos session_
+ES_CHAOS_SEED=11 ES_CHAOS_FP_DIR=target/session-b cargo test -q --test chaos session_
+diff -r target/session-a target/session-b || {
+    echo "session control plane is nondeterministic: fingerprints differ between identical runs" >&2
+    exit 1
+}
+
 echo "ok"

@@ -22,7 +22,7 @@ fn signed_system(seed: u64) -> (es_core::EsSystem, Rc<StreamSigner>) {
         .signer(signer.clone());
     let sys = SystemBuilder::new(seed)
         .channel(ch)
-        .speaker(SpeakerSpec::new("es", group).with_auth_anchor(signer.anchor()))
+        .speaker(SpeakerSpec::new("es", group).auth_anchor(signer.anchor()))
         .build();
     (sys, signer)
 }

@@ -58,7 +58,7 @@ fn booted_machines_tune_their_configured_channels() {
                 lobby_sys.lease.hostname.clone().unwrap_or("lobby".into()),
                 McastGroup(lobby_sys.configured_channel()),
             );
-            s = s.with_volume(lobby_sys.configured_volume());
+            s = s.volume(lobby_sys.configured_volume());
             s
         })
         .speaker(SpeakerSpec::new(

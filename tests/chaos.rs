@@ -1,4 +1,4 @@
-//! The chaos conformance suite: six named fault scenarios, each run
+//! The chaos conformance suite: eight named fault scenarios, each run
 //! twice with the same seed ([`es_chaos::conformance`]) so that any
 //! nondeterminism fails before the recovery invariants are even
 //! evaluated. On failure every assertion prints the reproducing
@@ -377,6 +377,157 @@ fn jitter_spike() {
     conformance(&jitter_spike_scenario());
 }
 
+/// The full session lifecycle over the control plane: both speakers
+/// join by handshake (discover → setup → stream), the broker flushes
+/// every session mid-run, then tears down speaker 1's session — which
+/// auto-rejoins by re-discovering. The whole dance must be journaled
+/// and deterministic.
+fn session_lifecycle_scenario() -> Scenario {
+    Scenario::new("session_lifecycle", 48)
+        .negotiated()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .at(SimDuration::from_secs(3), Fault::FlushSessions)
+        .at(
+            SimDuration::from_secs(4),
+            Fault::TeardownSpeaker { speaker: 1 },
+        )
+        .probe(SimDuration::from_millis(2_800))
+        .probe(SimDuration::from_secs(5))
+        .check("sessions-negotiated", |t| {
+            let m = &t.final_probe().metrics;
+            if m.counter("session/broker/acks").unwrap_or(0) < 2 {
+                return Err("broker granted fewer than 2 sessions".into());
+            }
+            for spk in ["es0", "es1"] {
+                let est = m
+                    .counter(&format!("session/{spk}/sessions_established"))
+                    .unwrap_or(0);
+                if est == 0 {
+                    return Err(format!("{spk} never established a session"));
+                }
+            }
+            if !t.journal_lines.contains("session established") {
+                return Err("journal missing \"session established\"".into());
+            }
+            Ok(())
+        })
+        .check("flush-resyncs-every-speaker", |t| {
+            let m = &t.final_probe().metrics;
+            for spk in ["es0", "es1"] {
+                let re = m
+                    .counter(&format!("speaker/{spk}/session_resyncs"))
+                    .unwrap_or(0);
+                if re == 0 {
+                    return Err(format!("{spk} never resynced on FLUSH"));
+                }
+            }
+            if !t.journal_lines.contains("session flush resync") {
+                return Err("journal missing the flush resync".into());
+            }
+            Ok(())
+        })
+        .check("teardown-then-rejoin", |t| {
+            let m = &t.final_probe().metrics;
+            if !t.journal_lines.contains("session closed") {
+                return Err("journal missing \"session closed\"".into());
+            }
+            // es1 re-established after the broker tore it down.
+            let est = m.counter("session/es1/sessions_established").unwrap_or(0);
+            if est < 2 {
+                return Err(format!("es1 established {est} sessions, wanted ≥ 2"));
+            }
+            Ok(())
+        })
+        .check("audio-flows-throughout", |t| {
+            let m = &t.final_probe().metrics;
+            for (spk, floor) in [("es0", 300_000), ("es1", 200_000)] {
+                let played = m
+                    .counter(&format!("speaker/{spk}/samples_played"))
+                    .unwrap_or(0);
+                if played < floor {
+                    return Err(format!("{spk} played only {played} samples"));
+                }
+            }
+            Ok(())
+        })
+        .check("speakers-in-sync-pre-flush", |t| {
+            offsets_within(t.probe_at(SimDuration::from_millis(2_800)).unwrap(), 60)
+        })
+}
+
+#[test]
+fn session_lifecycle() {
+    conformance(&session_lifecycle_scenario());
+}
+
+/// Speaker 1 is partitioned before its first DISCOVER can be answered
+/// — the OFFER/SETUP exchange is cut mid-handshake. While dark it
+/// keeps retrying; after the heal, re-discovery must converge: the
+/// journal shows the late establishment and both speakers end up in
+/// granted sessions. Looped over seeds to show convergence is not a
+/// fluke of one schedule.
+fn session_partition_scenario(seed: u64) -> Scenario {
+    Scenario::new("session_partition_mid_handshake", seed)
+        .negotiated()
+        .stream_for(STREAM)
+        .run_for(RUN)
+        .at(
+            SimDuration::from_millis(5),
+            Fault::PartitionSpeaker {
+                speaker: 1,
+                duration: SimDuration::from_millis(1_200),
+            },
+        )
+        .probe(SimDuration::from_secs(5))
+        .check("handshake-was-cut", |t| {
+            let m = &t.final_probe().metrics;
+            if m.counter("net/lan0/frames_partitioned").unwrap_or(0) == 0 {
+                return Err("the partition dropped nothing".into());
+            }
+            Ok(())
+        })
+        .check("rediscovery-converges", |t| {
+            let m = &t.final_probe().metrics;
+            // The partitioned speaker had to retry discovery…
+            let discovers = m.counter("session/es1/discovers_sent").unwrap_or(0);
+            if discovers < 2 {
+                return Err(format!("es1 sent {discovers} DISCOVERs, wanted ≥ 2"));
+            }
+            // …and still ended up established, like its healthy peer.
+            for spk in ["es0", "es1"] {
+                let est = m
+                    .counter(&format!("session/{spk}/sessions_established"))
+                    .unwrap_or(0);
+                if est == 0 {
+                    return Err(format!("{spk} never established"));
+                }
+            }
+            if !t.journal_lines.contains("session established") {
+                return Err("journal missing the re-discovery".into());
+            }
+            Ok(())
+        })
+        .check("late-joiner-still-plays", |t| {
+            let m = &t.final_probe().metrics;
+            let played = m.counter("speaker/es1/samples_played").unwrap_or(0);
+            if played < 200_000 {
+                return Err(format!("es1 played only {played} samples after healing"));
+            }
+            Ok(())
+        })
+}
+
+#[test]
+fn session_partition_mid_handshake() {
+    // conformance() runs each seed twice and demands byte-identical
+    // fingerprints — final samples_played included — so every seed
+    // proves deterministic convergence, not just seed 52.
+    for seed in [52, 53, 54] {
+        conformance(&session_partition_scenario(seed));
+    }
+}
+
 /// The fleet executor's determinism contract, asserted end to end:
 /// every chaos scenario must be *inaudible to the thread count*. The
 /// same seed on 1, 2 and 4 decode lanes has to produce bit-identical
@@ -393,6 +544,8 @@ fn fleet_thread_count_is_inaudible() {
         partition_and_heal_scenario(),
         producer_restart_scenario(),
         jitter_spike_scenario(),
+        session_lifecycle_scenario(),
+        session_partition_scenario(52),
     ];
     for sc in &scenarios {
         let mut baseline: Option<(Trace, Vec<(String, u64)>)> = None;

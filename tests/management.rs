@@ -34,6 +34,28 @@ fn browser_sees_catalog_and_speaker_switches_channels() {
     let news_info = browser.find("news").expect("news in catalog");
     assert_eq!(news_info.group, news.0);
 
+    // The capability advertisement round-trips through the announce
+    // wire format: what the browser decodes is exactly the codec set
+    // the channel's compression policy advertises.
+    let music_info = browser.find("music").expect("music in catalog");
+    let policy = es_core::prelude::CompressionPolicy::paper_default();
+    assert_eq!(
+        music_info.caps.codecs,
+        policy.advertised_codecs(&music_info.config),
+        "advertised codec set must survive the announce round-trip"
+    );
+    assert!(!music_info.caps.codecs.is_empty());
+    assert_eq!(
+        music_info.caps.sample_rates,
+        vec![music_info.config.sample_rate]
+    );
+    // The announced codec is the policy's actual selection for the
+    // stream, not a hard-coded zero.
+    assert_eq!(
+        music_info.codec,
+        policy.select(&music_info.config).0.to_wire()
+    );
+
     // The user's remote control: switch the speaker to what the
     // catalog lists for "news".
     let spk = sys.speaker(0).unwrap();

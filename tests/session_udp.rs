@@ -1,0 +1,325 @@
+//! Smoke test: the session control plane over real UDP loopback
+//! multicast — one broker thread serving 8 concurrent receiver
+//! handshakes from a single `SessionTable`.
+//!
+//! The pure state machines (`SessionClient`, `SessionTable`,
+//! `negotiate`) run here exactly as they do in the simulator; only the
+//! transport differs. Time is synthetic — each loop iteration advances
+//! a per-thread microsecond clock — so the determinism lints hold and
+//! the handshake logic, not the host clock, drives the protocol.
+//! Sandboxes that forbid multicast skip quietly, same as the other
+//! live tests.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use es_net::udp::{McastReceiver, McastSender};
+use es_proto::{
+    encode_session, negotiate, Capabilities, ClientAction, ClientPhase, Packet, SessionClient,
+    SessionClientConfig, SessionEntry, SessionPacket, SessionTable, StreamInfo, TeardownReason,
+};
+use es_telemetry::{Journal, Severity, Stamp};
+
+const CHANNEL: u8 = 23;
+const CLIENTS: usize = 8;
+const CLIENT_TO_BROKER: u16 = 49_600; // + client index
+const BROKER_TO_CLIENT: u16 = 49_700; // + client index
+const TICK_US: u64 = 5_000;
+const MAX_LOOPS: usize = 2_000;
+
+fn skip(journal: &Journal, reason: String) {
+    journal.emit(
+        Stamp::wall_now(),
+        Severity::Warn,
+        "session",
+        "udp session smoke skipped",
+        &[("reason", reason)],
+    );
+}
+
+fn radio_info() -> StreamInfo {
+    StreamInfo {
+        stream_id: 1,
+        group: 77,
+        name: "radio".into(),
+        codec: 0,
+        config: es_audio::AudioConfig::CD,
+        flags: 0,
+        caps: Capabilities {
+            codecs: vec![0],
+            sample_rates: vec![44_100],
+            device_class: es_proto::DeviceClass::Standard,
+        },
+    }
+}
+
+struct BrokerOutcome {
+    max_concurrent: usize,
+}
+
+/// The broker loop: one `SessionTable`, eight receiver sockets (one
+/// UDP port per client — `bind_reusable` admits a single receiver per
+/// port per process), grants via `negotiate`.
+#[allow(clippy::too_many_arguments)]
+fn broker_loop(
+    rxs: Vec<McastReceiver>,
+    txs: Vec<McastSender>,
+    table: Arc<Mutex<SessionTable>>,
+    stop: Arc<AtomicBool>,
+) -> BrokerOutcome {
+    let info = radio_info();
+    let mut now_us: u64 = 0;
+    let mut next_sid: u32 = 1;
+    let mut offer_seq: u32 = 0;
+    let mut max_concurrent = 0usize;
+    let mut buf = vec![0u8; 2_048];
+    while !stop.load(Ordering::Relaxed) {
+        now_us += TICK_US;
+        for (i, rx) in rxs.iter().enumerate() {
+            let Ok(Some(n)) = rx.recv(&mut buf) else {
+                continue;
+            };
+            let Ok(Packet::Session(sp)) = es_proto::decode(&buf[..n]) else {
+                continue;
+            };
+            match sp {
+                SessionPacket::Discover { .. } => {
+                    let offer = SessionPacket::Offer {
+                        seq: offer_seq,
+                        streams: vec![info.clone()],
+                    };
+                    offer_seq += 1;
+                    let _ = txs[i].send(&encode_session(&offer));
+                }
+                SessionPacket::Setup {
+                    speaker,
+                    stream_id,
+                    codec,
+                    playout_delay_us,
+                    caps,
+                } => {
+                    let mut table = table.lock().unwrap();
+                    // Idempotent re-grant on SETUP retry, as in the sim
+                    // broker.
+                    let existing = table.find_by_speaker(&speaker).cloned();
+                    let reply = if let Some(e) = existing {
+                        SessionPacket::SetupAck {
+                            session_id: e.session_id,
+                            speaker,
+                            stream_id: e.stream_id,
+                            group: info.group,
+                            codec: e.codec,
+                            playout_delay_us: e.playout_delay_us,
+                        }
+                    } else {
+                        match negotiate(&info, &caps, codec, playout_delay_us) {
+                            Ok(grant) => {
+                                let session_id = next_sid;
+                                next_sid += 1;
+                                table.open(SessionEntry {
+                                    session_id,
+                                    speaker: speaker.clone(),
+                                    stream_id,
+                                    codec: grant.codec,
+                                    playout_delay_us: grant.playout_delay_us,
+                                    opened_at_us: now_us,
+                                    last_seen_us: now_us,
+                                });
+                                max_concurrent = max_concurrent.max(table.active());
+                                SessionPacket::SetupAck {
+                                    session_id,
+                                    speaker,
+                                    stream_id,
+                                    group: grant.group,
+                                    codec: grant.codec,
+                                    playout_delay_us: grant.playout_delay_us,
+                                }
+                            }
+                            Err(reason) => SessionPacket::Refuse {
+                                speaker,
+                                stream_id,
+                                reason,
+                            },
+                        }
+                    };
+                    drop(table);
+                    let _ = txs[i].send(&encode_session(&reply));
+                }
+                SessionPacket::Keepalive { session_id } => {
+                    table.lock().unwrap().touch(session_id, now_us);
+                }
+                SessionPacket::Teardown { session_id, .. } => {
+                    table.lock().unwrap().close(session_id);
+                }
+                _ => {}
+            }
+        }
+    }
+    BrokerOutcome { max_concurrent }
+}
+
+struct ClientOutcome {
+    name: String,
+    established: bool,
+    heard_any: bool,
+}
+
+/// One receiver handshake: discover → setup → established, then hold
+/// the session (keepalives) until every peer is established too, then
+/// tear down.
+fn client_loop(
+    i: usize,
+    rx: McastReceiver,
+    tx: McastSender,
+    established_count: Arc<AtomicUsize>,
+) -> ClientOutcome {
+    let name = format!("udp-es-{i}");
+    let mut cfg = SessionClientConfig::new(name.clone(), "radio");
+    cfg.discover_interval_us = 20_000;
+    cfg.setup_retry_us = 30_000;
+    cfg.keepalive_interval_us = 50_000;
+    cfg.session_timeout_us = 60_000_000; // Never lose it mid-test.
+    let mut client = SessionClient::new(cfg);
+    let mut now_us: u64 = 0;
+    let mut heard_any = false;
+    let mut counted = false;
+    let mut session_id = None;
+    let mut buf = vec![0u8; 2_048];
+    for _ in 0..MAX_LOOPS {
+        now_us += TICK_US;
+        let mut actions = client.poll(now_us);
+        if let Ok(Some(n)) = rx.recv(&mut buf) {
+            heard_any = true;
+            if let Ok(Packet::Session(sp)) = es_proto::decode(&buf[..n]) {
+                actions.extend(client.on_packet(now_us, &sp));
+            }
+        }
+        for a in actions {
+            match a {
+                ClientAction::Send(pkt) => {
+                    let _ = tx.send(&encode_session(&pkt));
+                }
+                ClientAction::Established {
+                    session_id: sid, ..
+                } => {
+                    session_id = Some(sid);
+                    if !counted {
+                        counted = true;
+                        established_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Hold the session until the whole fleet is in — that is the
+        // "8 concurrent sessions" part — then close cleanly.
+        if client.phase() == ClientPhase::Established
+            && established_count.load(Ordering::SeqCst) >= CLIENTS
+        {
+            let teardown = SessionPacket::Teardown {
+                session_id: session_id.expect("established implies a session id"),
+                reason: TeardownReason::Requested,
+            };
+            let _ = tx.send(&encode_session(&teardown));
+            return ClientOutcome {
+                name,
+                established: true,
+                heard_any,
+            };
+        }
+    }
+    ClientOutcome {
+        name,
+        established: false,
+        heard_any,
+    }
+}
+
+#[test]
+fn eight_concurrent_sessions_over_udp_loopback() {
+    let journal = Journal::new();
+
+    // All sockets up front, so an unsupported sandbox skips before any
+    // thread spawns.
+    let mut broker_rxs = Vec::new();
+    let mut broker_txs = Vec::new();
+    let mut client_sockets = Vec::new();
+    for i in 0..CLIENTS {
+        let up = CLIENT_TO_BROKER + i as u16;
+        let down = BROKER_TO_CLIENT + i as u16;
+        let timeout = Duration::from_millis(2);
+        match (
+            McastReceiver::join(CHANNEL, up, timeout),
+            McastSender::new(CHANNEL, down),
+            McastReceiver::join(CHANNEL, down, Duration::from_millis(5)),
+            McastSender::new(CHANNEL, up),
+        ) {
+            (Ok(brx), Ok(btx), Ok(crx), Ok(ctx)) => {
+                broker_rxs.push(brx);
+                broker_txs.push(btx);
+                client_sockets.push((crx, ctx));
+            }
+            (r1, r2, r3, r4) => {
+                let why = [
+                    r1.err().map(|e| e.to_string()),
+                    r2.err().map(|e| e.to_string()),
+                    r3.err().map(|e| e.to_string()),
+                    r4.err().map(|e| e.to_string()),
+                ]
+                .into_iter()
+                .flatten()
+                .collect::<Vec<_>>()
+                .join("; ");
+                skip(&journal, format!("client {i}: {why}"));
+                return;
+            }
+        }
+    }
+
+    let table = Arc::new(Mutex::new(SessionTable::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let established_count = Arc::new(AtomicUsize::new(0));
+
+    let broker = {
+        let (table, stop) = (table.clone(), stop.clone());
+        std::thread::spawn(move || broker_loop(broker_rxs, broker_txs, table, stop))
+    };
+    let clients: Vec<_> = client_sockets
+        .into_iter()
+        .enumerate()
+        .map(|(i, (rx, tx))| {
+            let count = established_count.clone();
+            std::thread::spawn(move || client_loop(i, rx, tx, count))
+        })
+        .collect();
+
+    let outcomes: Vec<ClientOutcome> = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    // Give the broker a beat to absorb the final teardowns, then stop.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    let broker_outcome = broker.join().expect("broker thread");
+
+    if outcomes.iter().all(|o| !o.heard_any) {
+        skip(&journal, "no multicast loopback delivery".into());
+        return;
+    }
+    for o in &outcomes {
+        assert!(
+            o.established,
+            "{} heard traffic but never established",
+            o.name
+        );
+    }
+    assert_eq!(
+        broker_outcome.max_concurrent, CLIENTS,
+        "all {CLIENTS} sessions must be open simultaneously"
+    );
+    let table = table.lock().unwrap();
+    assert_eq!(table.opened, CLIENTS as u64, "one grant per client");
+    assert_eq!(table.closed, CLIENTS as u64, "every teardown processed");
+    assert_eq!(table.active(), 0, "table drained after the teardowns");
+}

@@ -80,6 +80,11 @@ pub fn all() -> Vec<Rule> {
             check: spec_builder_naming,
         },
         Rule {
+            id: "heal-event-fields",
+            summary: "journal events on the heal component must carry action and target fields",
+            check: heal_event_fields,
+        },
+        Rule {
             id: "pragma",
             summary: "es-allow pragmas must name a registered rule",
             check: pragma_names_known_rule,
@@ -330,6 +335,65 @@ fn spec_builder_naming(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     out
 }
 
+/// Healing-plane journal contract: every event emitted under the
+/// `heal` component names what was done (`action`) and to whom
+/// (`target`), so the archived healing journals are machine-auditable.
+/// Lexical, like every rule here: an `.emit(` call whose first string
+/// literal is `"heal"` (the component argument — the stamp and
+/// severity arguments carry no string literals) must also contain the
+/// `"action"` and `"target"` field-key literals inside the call.
+fn heal_event_fields(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let t = ctx.tokens;
+    for i in 0..t.len() {
+        let Token::Ident { text, .. } = &t[i] else {
+            continue;
+        };
+        if text != "emit" {
+            continue;
+        }
+        // Only method-call position: `.emit(`.
+        if i == 0 || !matches!(t[i - 1], Token::Punct { ch: '.', .. }) {
+            continue;
+        }
+        if !matches!(t.get(i + 1), Some(Token::Punct { ch: '(', .. })) {
+            continue;
+        }
+        let mut depth = 1u32;
+        let mut j = i + 2;
+        let mut strs: Vec<(u32, &str)> = Vec::new();
+        while j < t.len() && depth > 0 {
+            match &t[j] {
+                Token::Punct { ch: '(', .. } => depth += 1,
+                Token::Punct { ch: ')', .. } => depth -= 1,
+                Token::Str { line, text: lit } => strs.push((*line, lit)),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(&(line, component)) = strs.first() else {
+            continue;
+        };
+        if component != "heal" {
+            continue;
+        }
+        for field in ["action", "target"] {
+            if !strs.iter().any(|(_, s)| *s == field) {
+                out.push(RawFinding {
+                    line,
+                    message: format!(
+                        "journal event on the `heal` component is missing the `{field}` \
+                         field; every healing action must be journaled as \
+                         (action, target, ...) so the archived healing journal is \
+                         machine-auditable"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 fn pragma_names_known_rule(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     ctx.pragmas
         .iter()
@@ -466,6 +530,41 @@ mod tests {
         let mixed = "impl SessionSpec { pub fn setup_retry(self) -> Self { self } }\n\
                      impl LiveConfig { pub fn with_journal(self) -> Self { self } }";
         assert!(run_on("crates/core/src/builder.rs", mixed).is_empty());
+    }
+
+    #[test]
+    fn heal_event_fields_requires_action_and_target() {
+        // Missing target: one finding.
+        let missing_target = r#"fn f(j: &J) {
+            j.emit(s, sev, "heal", "fec ladder raised", &[("action", a)]);
+        }"#;
+        assert_eq!(
+            run_on("crates/core/src/heal_ctl.rs", missing_target),
+            vec![("heal-event-fields".to_string(), 2)]
+        );
+        // Missing both: two findings on the same call.
+        let missing_both = r#"fn f(j: &J) { j.emit(s, sev, "heal", "oops", &[]); }"#;
+        assert_eq!(
+            run_on("crates/core/src/heal_ctl.rs", missing_both),
+            vec![
+                ("heal-event-fields".to_string(), 1),
+                ("heal-event-fields".to_string(), 1)
+            ]
+        );
+        // Complete heal event: clean.
+        let good = r#"fn f(j: &J) {
+            j.emit(s, sev, "heal", "standby promoted",
+                   &[("action", a), ("target", t), ("extra", x)]);
+        }"#;
+        assert!(run_on("crates/core/src/heal_ctl.rs", good).is_empty());
+        // Other components are out of scope.
+        let other = r#"fn f(j: &J) {
+            j.emit(s, sev, "net", "receiver degraded", &[("node", n)]);
+        }"#;
+        assert!(run_on("crates/net/src/lan.rs", other).is_empty());
+        // `emit` not in method position is not a journal call.
+        let free = r#"fn emit(a: &str) {} fn g() { emit("heal"); }"#;
+        assert!(run_on("crates/core/src/heal_ctl.rs", free).is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+// Positive fixture: a heal-component journal event that names its
+// action but not its target — the healing-journal contract requires
+// both.
+fn broken(journal: &Journal, now: Stamp) {
+    journal.emit(
+        now,
+        Severity::Warn,
+        "heal",
+        "fec ladder raised",
+        &[("action", "raise_fec".into())],
+    );
+}

@@ -22,12 +22,15 @@
 //! - `ES_CHAOS_FP_DIR` writes each scenario's fingerprint to
 //!   `<dir>/<name>.txt` so a driver script can diff two whole-suite
 //!   runs across processes (`scripts/check.sh` does exactly that).
+//! - `ES_CHAOS_JOURNAL_DIR` writes each scenario's event journal to
+//!   `<dir>/<name>.jsonl` — the gate archives the healing tier's
+//!   journals under `results/` for post-mortem reading.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 use es_core::prelude::CompressionPolicy;
-use es_core::{ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder};
+use es_core::{ChannelSpec, EsSystem, HealSpec, SessionSpec, Source, SpeakerSpec, SystemBuilder};
 use es_net::{LanConfig, McastGroup};
 use es_sim::{SimDuration, SimTime};
 use es_telemetry::MetricsSnapshot;
@@ -37,6 +40,19 @@ use es_telemetry::MetricsSnapshot;
 pub enum Fault {
     /// Swap the LAN's physical parameters ([`es_net::Lan::set_config`]).
     Lan(LanConfig),
+    /// Degrade one speaker's receive path: each datagram bound for it
+    /// is independently dropped with probability `loss` for the
+    /// window, then the path clears. Unlike [`Fault::PartitionSpeaker`]
+    /// the speaker stays reachable — this is the lossy-leaf-link case
+    /// the healing plane's FEC ladder exists for.
+    DegradeSpeaker {
+        /// Speaker index (declaration order).
+        speaker: usize,
+        /// Per-datagram loss probability, clamped to `0.0..=1.0`.
+        loss: f64,
+        /// Window length; reception heals by itself afterwards.
+        duration: SimDuration,
+    },
     /// Cut one speaker off the LAN for a window.
     PartitionSpeaker {
         /// Speaker index (declaration order).
@@ -99,6 +115,8 @@ pub struct Trace {
     pub journal_lines: String,
     /// Number of speakers in the deployment.
     pub speakers: usize,
+    /// Test binary [`Trace::repro`] names (`chaos` or `healing`).
+    pub test_binary: String,
 }
 
 impl Trace {
@@ -117,8 +135,8 @@ impl Trace {
     /// The one-liner that reproduces this exact run.
     pub fn repro(&self) -> String {
         format!(
-            "ES_CHAOS_SEED={} cargo test --test chaos {}",
-            self.seed, self.name
+            "ES_CHAOS_SEED={} cargo test --test {} {}",
+            self.seed, self.test_binary, self.name
         )
     }
 
@@ -161,11 +179,14 @@ pub struct Scenario {
     negotiated: bool,
     clicks: bool,
     fec_group: Option<u8>,
+    playout_delay: Option<SimDuration>,
+    healing: Option<HealSpec>,
     stream: SimDuration,
     run_for: SimDuration,
     phases: Vec<(SimDuration, Fault)>,
     probes: Vec<SimDuration>,
     checks: Vec<(String, CheckFn)>,
+    test_binary: String,
 }
 
 impl Scenario {
@@ -182,11 +203,14 @@ impl Scenario {
             negotiated: false,
             clicks: false,
             fec_group: None,
+            playout_delay: None,
+            healing: None,
             stream: SimDuration::from_secs(8),
             run_for: SimDuration::from_secs(10),
             phases: Vec::new(),
             probes: Vec::new(),
             checks: Vec::new(),
+            test_binary: "chaos".into(),
         }
     }
 
@@ -229,6 +253,27 @@ impl Scenario {
     /// Emits one XOR-parity packet per `n` data packets (FEC).
     pub fn fec_group(mut self, n: u8) -> Self {
         self.fec_group = Some(n);
+        self
+    }
+
+    /// Overrides the channel's receiver playout delay (a deep playout
+    /// buffer gives NACK retransmissions time to land before their
+    /// deadlines).
+    pub fn playout_delay(mut self, d: SimDuration) -> Self {
+        self.playout_delay = Some(d);
+        self
+    }
+
+    /// Enables the self-healing plane ([`SystemBuilder::healing`]).
+    pub fn healing(mut self, spec: HealSpec) -> Self {
+        self.healing = Some(spec);
+        self
+    }
+
+    /// Names the test binary [`Trace::repro`] points at (`chaos` by
+    /// default; the healing tier sets `healing`).
+    pub fn test_binary(mut self, name: impl Into<String>) -> Self {
+        self.test_binary = name.into();
         self
     }
 
@@ -294,10 +339,16 @@ impl Scenario {
             if let Some(n) = self.fec_group {
                 ch = ch.fec_group(n);
             }
+            if let Some(d) = self.playout_delay {
+                ch = ch.playout_delay(d);
+            }
             ch
         });
         if self.negotiated {
             b = b.sessions(SessionSpec::new(McastGroup(0)));
+        }
+        if let Some(h) = &self.healing {
+            b = b.healing(h.clone());
         }
         for i in 0..self.speakers {
             let mut spec = if self.negotiated {
@@ -330,6 +381,23 @@ impl Scenario {
                     let lan = lan.clone();
                     let cfg = *cfg;
                     sys.sim.schedule_in(at, move |sim| lan.set_config(sim, cfg));
+                }
+                Fault::DegradeSpeaker {
+                    speaker,
+                    loss,
+                    duration,
+                } => {
+                    let node = sys
+                        .speaker(*speaker)
+                        .expect("scenario speakers power on at t=0")
+                        .node();
+                    let loss = *loss;
+                    let sick = lan.clone();
+                    sys.sim
+                        .schedule_in(at, move |sim| sick.degrade(sim, node, loss));
+                    let clear = lan.clone();
+                    sys.sim
+                        .schedule_in(at + *duration, move |sim| clear.degrade(sim, node, 0.0));
                 }
                 Fault::PartitionSpeaker { speaker, duration } => {
                     let node = sys
@@ -403,6 +471,7 @@ impl Scenario {
             probes,
             journal_lines: sys.journal().to_json_lines(),
             speakers: self.speakers,
+            test_binary: self.test_binary.clone(),
         }
     }
 
@@ -449,6 +518,12 @@ pub fn conformance(scenario: &Scenario) -> Trace {
         let path = std::path::Path::new(&dir).join(format!("{}.txt", first.name));
         std::fs::write(&path, &fa)
             .unwrap_or_else(|e| panic!("cannot write fingerprint {}: {e}", path.display()));
+    }
+    if let Ok(dir) = std::env::var("ES_CHAOS_JOURNAL_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
+        let path = std::path::Path::new(&dir).join(format!("{}.jsonl", first.name));
+        std::fs::write(&path, &first.journal_lines)
+            .unwrap_or_else(|e| panic!("cannot write journal {}: {e}", path.display()));
     }
     for (name, check) in &scenario.checks {
         if let Err(why) = check(&first) {
@@ -511,6 +586,39 @@ mod tests {
     #[should_panic(expected = "INVARIANT 'always-fails'")]
     fn failed_check_panics_with_repro() {
         conformance(&quick().check("always-fails", |_| Err("nope".into())));
+    }
+
+    #[test]
+    fn degrade_fault_drops_and_clears() {
+        let trace = Scenario::new("unit-degrade", 9)
+            .test_binary("healing")
+            .stream_for(SimDuration::from_secs(2))
+            .run_for(SimDuration::from_secs(3))
+            .at(
+                SimDuration::from_millis(500),
+                Fault::DegradeSpeaker {
+                    speaker: 1,
+                    loss: 0.5,
+                    duration: SimDuration::from_millis(800),
+                },
+            )
+            .probe(SimDuration::from_millis(1_300))
+            .run();
+        let mid = trace
+            .probe_at(SimDuration::from_millis(1_300))
+            .unwrap()
+            .metrics
+            .counter("net/lan0/frames_degraded")
+            .unwrap();
+        assert!(mid > 0, "window must drop frames");
+        let end = trace
+            .final_probe()
+            .metrics
+            .counter("net/lan0/frames_degraded")
+            .unwrap();
+        assert_eq!(mid, end, "drops must stop once the window clears");
+        assert!(trace.journal_lines.contains("receiver degraded"));
+        assert!(trace.repro().contains("--test healing"));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use es_telemetry::{Journal, MetricsSnapshot, Registry, Telemetry};
 
 use crate::catalog::CatalogAnnouncer;
 use crate::error::Error;
+use crate::heal_ctl::{HealMonitor, HealSpec};
 use crate::session_ctl::{stream_info_for, NegotiatedSpeaker, SessionBroker};
 
 /// What an audio application plays into a channel.
@@ -455,6 +456,7 @@ pub struct SystemBuilder {
     speakers: Vec<SpeakerSpec>,
     announce_group: Option<McastGroup>,
     sessions: Option<SessionSpec>,
+    healing: Option<HealSpec>,
 }
 
 impl SystemBuilder {
@@ -467,6 +469,7 @@ impl SystemBuilder {
             speakers: Vec::new(),
             announce_group: None,
             sessions: None,
+            healing: None,
         }
     }
 
@@ -499,6 +502,15 @@ impl SystemBuilder {
     /// group, and [`SpeakerSpec::negotiated`] speakers become legal.
     pub fn sessions(mut self, spec: SessionSpec) -> Self {
         self.sessions = Some(spec);
+        self
+    }
+
+    /// Enables the self-healing plane: a [`HealMonitor`] samples the
+    /// fleet's telemetry every `spec.epoch` and repairs sustained
+    /// faults (loss-adaptive FEC, NACK retransmission, and — with
+    /// [`HealSpec::standby`] — producer failover).
+    pub fn healing(mut self, spec: HealSpec) -> Self {
+        self.healing = Some(spec);
         self
     }
 
@@ -557,8 +569,11 @@ impl SystemBuilder {
         let producer_node = lan.attach("producer-host");
 
         let mut rebroadcasters = Vec::new();
+        let mut standbys = Vec::new();
         let mut apps: Vec<Shared<Option<AudioApp>>> = Vec::new();
         let mut stream_infos: Vec<StreamInfo> = Vec::new();
+        let want_standby = self.healing.as_ref().is_some_and(|h| h.standby);
+        let standby_node = want_standby.then(|| lan.attach("standby-host"));
 
         for ch in self.channels {
             lan.join(producer_node, ch.group);
@@ -582,8 +597,16 @@ impl SystemBuilder {
             rcfg.playout_delay = ch.playout_delay;
             rcfg.fec_group = ch.fec_group;
             rcfg.cost_model = ch.cost_model;
+            // A warm standby shares the VAD master: it sees the same
+            // stream but neither reads nor sends until promoted.
+            let standby_parts = standby_node.map(|node| (node, master.clone(), rcfg.clone()));
             let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer_node, master, rcfg);
             rb.set_journal(journal.clone());
+            if let Some((node, master, scfg)) = standby_parts {
+                let srb = Rebroadcaster::start_standby(&mut sim, lan.clone(), node, master, scfg);
+                srb.set_journal(journal.clone());
+                standbys.push(srb);
+            }
             // The advertised entry carries the real codec selection and
             // capability set, derived from the channel's policy.
             stream_infos.push(stream_info_for(
@@ -693,69 +716,65 @@ impl SystemBuilder {
             }
         }
 
-        Ok(EsSystem {
-            sim,
+        let hub = MetricsHub {
             lan,
             rebroadcasters,
+            standbys,
             apps,
-            speakers,
+            speakers: Rc::new(speakers),
             announcer,
             broker,
+            heal: es_sim::shared(None),
+        };
+        let heal = self.healing.map(|spec| {
+            let standbys = hub.standbys.clone();
+            let mon = HealMonitor::start(&mut sim, hub.clone(), standbys, spec, journal.clone());
+            *hub.heal.borrow_mut() = Some(mon.clone());
+            mon
+        });
+
+        Ok(EsSystem {
+            sim,
+            hub,
+            heal,
             journal,
         })
     }
 }
 
-enum SpeakerHandle {
+#[derive(Clone)]
+pub(crate) enum SpeakerHandle {
     Ready(EthernetSpeaker),
     Deferred(Shared<Option<EthernetSpeaker>>),
     Negotiated(NegotiatedSpeaker),
     DeferredNegotiated(Shared<Option<NegotiatedSpeaker>>),
 }
 
-/// A built deployment.
-pub struct EsSystem {
-    /// The simulator; exposed for custom event scheduling.
-    pub sim: Sim,
-    lan: Lan,
-    rebroadcasters: Vec<Rebroadcaster>,
-    apps: Vec<Shared<Option<AudioApp>>>,
-    speakers: Vec<SpeakerHandle>,
-    announcer: Option<CatalogAnnouncer>,
-    broker: Option<SessionBroker>,
-    journal: Journal,
+/// Clone-shareable view of every component's telemetry handles: the
+/// one place the "walk the whole deployment and snapshot it" logic
+/// lives. [`EsSystem::metrics`] delegates here, and the healing
+/// monitor holds its own clone so it can snapshot from inside
+/// simulator callbacks, where `EsSystem` itself is not reachable.
+#[derive(Clone)]
+pub(crate) struct MetricsHub {
+    pub(crate) lan: Lan,
+    pub(crate) rebroadcasters: Vec<Rebroadcaster>,
+    pub(crate) standbys: Vec<Rebroadcaster>,
+    pub(crate) apps: Vec<Shared<Option<AudioApp>>>,
+    pub(crate) speakers: Rc<Vec<SpeakerHandle>>,
+    pub(crate) announcer: Option<CatalogAnnouncer>,
+    pub(crate) broker: Option<SessionBroker>,
+    /// Back-reference filled in once the monitor starts, so its
+    /// counters appear in the same snapshot it produces.
+    pub(crate) heal: Shared<Option<HealMonitor>>,
 }
 
-impl EsSystem {
-    /// Runs for a span of virtual time.
-    pub fn run_for(&mut self, d: SimDuration) {
-        self.sim.run_for(d);
+impl MetricsHub {
+    pub(crate) fn speaker_count(&self) -> usize {
+        self.speakers.len()
     }
 
-    /// Runs until an absolute virtual time.
-    pub fn run_until(&mut self, t: SimTime) {
-        self.sim.run_until(t);
-    }
-
-    /// The LAN fabric.
-    pub fn lan(&self) -> &Lan {
-        &self.lan
-    }
-
-    /// Channel rebroadcasters, in declaration order.
-    pub fn rebroadcaster(&self, i: usize) -> &Rebroadcaster {
-        &self.rebroadcasters[i]
-    }
-
-    /// The application driving channel `i` (None before its start
-    /// delay).
-    pub fn app(&self, i: usize) -> Option<AudioApp> {
-        self.apps[i].borrow().clone()
-    }
-
-    /// Speaker `i` (None before its power-on time). Negotiated
-    /// speakers resolve to their underlying [`EthernetSpeaker`].
-    pub fn speaker(&self, i: usize) -> Option<EthernetSpeaker> {
+    pub(crate) fn speaker(&self, i: usize) -> Option<EthernetSpeaker> {
         match &self.speakers[i] {
             SpeakerHandle::Ready(s) => Some(s.clone()),
             SpeakerHandle::Deferred(slot) => slot.borrow().clone(),
@@ -766,9 +785,7 @@ impl EsSystem {
         }
     }
 
-    /// The negotiated-session wrapper for speaker `i` (None for
-    /// statically wired speakers or before power-on).
-    pub fn session(&self, i: usize) -> Option<NegotiatedSpeaker> {
+    pub(crate) fn session(&self, i: usize) -> Option<NegotiatedSpeaker> {
         match &self.speakers[i] {
             SpeakerHandle::Negotiated(ns) => Some(ns.clone()),
             SpeakerHandle::DeferredNegotiated(slot) => slot.borrow().clone(),
@@ -776,34 +793,7 @@ impl EsSystem {
         }
     }
 
-    /// Number of declared speakers.
-    pub fn speaker_count(&self) -> usize {
-        self.speakers.len()
-    }
-
-    /// The catalog announcer, if enabled.
-    pub fn announcer(&self) -> Option<&CatalogAnnouncer> {
-        self.announcer.as_ref()
-    }
-
-    /// The session broker, if [`SystemBuilder::sessions`] was set.
-    pub fn broker(&self) -> Option<&SessionBroker> {
-        self.broker.as_ref()
-    }
-
-    /// The system-wide event journal (virtual-time stamps).
-    pub fn journal(&self) -> &Journal {
-        &self.journal
-    }
-
-    /// Takes a merged metrics snapshot of every component: the LAN
-    /// fabric (instance `lan0`), each channel's rebroadcaster, VAD and
-    /// application (instance `chN`), each powered-on speaker (instance
-    /// = its name) with its device ring, and the catalog announcer.
-    ///
-    /// The snapshot serializes to JSON lines via
-    /// [`MetricsSnapshot::to_json_lines`].
-    pub fn metrics(&self) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
         let mut reg = Registry::new();
         reg.set_instance("lan0");
         self.lan.stats().record(&mut reg);
@@ -814,6 +804,10 @@ impl EsSystem {
             if let Some(app) = self.apps[i].borrow().as_ref() {
                 app.stats().record(&mut reg);
             }
+        }
+        for (i, rb) in self.standbys.iter().enumerate() {
+            reg.set_instance(&format!("standby{i}"));
+            rb.record_telemetry(&mut reg);
         }
         for i in 0..self.speakers.len() {
             let Some(spk) = self.speaker(i) else { continue };
@@ -832,7 +826,103 @@ impl EsSystem {
             reg.set_instance("broker");
             b.record_telemetry(&mut reg);
         }
+        if let Some(m) = self.heal.borrow().as_ref() {
+            reg.set_instance("heal0");
+            m.stats().record(&mut reg);
+        }
         reg.snapshot()
+    }
+}
+
+/// A built deployment.
+pub struct EsSystem {
+    /// The simulator; exposed for custom event scheduling.
+    pub sim: Sim,
+    hub: MetricsHub,
+    heal: Option<HealMonitor>,
+    journal: Journal,
+}
+
+impl EsSystem {
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs until an absolute virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// The LAN fabric.
+    pub fn lan(&self) -> &Lan {
+        &self.hub.lan
+    }
+
+    /// Channel rebroadcasters, in declaration order.
+    pub fn rebroadcaster(&self, i: usize) -> &Rebroadcaster {
+        &self.hub.rebroadcasters[i]
+    }
+
+    /// Channel `i`'s warm-standby rebroadcaster, when
+    /// [`HealSpec::standby`] is on.
+    pub fn standby(&self, i: usize) -> Option<&Rebroadcaster> {
+        self.hub.standbys.get(i)
+    }
+
+    /// The healing monitor, if [`SystemBuilder::healing`] was set.
+    pub fn heal(&self) -> Option<&HealMonitor> {
+        self.heal.as_ref()
+    }
+
+    /// The application driving channel `i` (None before its start
+    /// delay).
+    pub fn app(&self, i: usize) -> Option<AudioApp> {
+        self.hub.apps[i].borrow().clone()
+    }
+
+    /// Speaker `i` (None before its power-on time). Negotiated
+    /// speakers resolve to their underlying [`EthernetSpeaker`].
+    pub fn speaker(&self, i: usize) -> Option<EthernetSpeaker> {
+        self.hub.speaker(i)
+    }
+
+    /// The negotiated-session wrapper for speaker `i` (None for
+    /// statically wired speakers or before power-on).
+    pub fn session(&self, i: usize) -> Option<NegotiatedSpeaker> {
+        self.hub.session(i)
+    }
+
+    /// Number of declared speakers.
+    pub fn speaker_count(&self) -> usize {
+        self.hub.speaker_count()
+    }
+
+    /// The catalog announcer, if enabled.
+    pub fn announcer(&self) -> Option<&CatalogAnnouncer> {
+        self.hub.announcer.as_ref()
+    }
+
+    /// The session broker, if [`SystemBuilder::sessions`] was set.
+    pub fn broker(&self) -> Option<&SessionBroker> {
+        self.hub.broker.as_ref()
+    }
+
+    /// The system-wide event journal (virtual-time stamps).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Takes a merged metrics snapshot of every component: the LAN
+    /// fabric (instance `lan0`), each channel's rebroadcaster, VAD and
+    /// application (instance `chN`), each powered-on speaker (instance
+    /// = its name) with its device ring, the catalog announcer, any
+    /// warm standbys (`standbyN`), and the healing monitor (`heal0`).
+    ///
+    /// The snapshot serializes to JSON lines via
+    /// [`MetricsSnapshot::to_json_lines`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.hub.snapshot()
     }
 
     /// Measures the playback offset between two speakers' outputs.
@@ -974,6 +1064,29 @@ mod tests {
         assert_eq!(spec.config.epsilon, SimDuration::from_millis(3));
         assert_eq!(spec.config.volume, 0.5);
         assert!(spec.config.conceal_loss);
+    }
+
+    #[test]
+    fn healing_monitor_runs_epochs_and_exports_stats() {
+        let mut sys = SystemBuilder::new(5)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .speaker(SpeakerSpec::new("es1", McastGroup(1)))
+            .healing(HealSpec::new().standby())
+            .build();
+        sys.run_for(SimDuration::from_secs(3));
+        let mon = sys.heal().expect("monitor handle");
+        assert!(mon.stats().epochs >= 5, "{:?}", mon.stats());
+        assert_eq!(mon.stats().failovers, 0, "healthy producer failed over");
+        assert_eq!(mon.health_of("es1"), es_heal::Health::Healthy);
+        let standby = sys.standby(0).expect("standby handle");
+        assert!(standby.is_standby(), "unpromoted standby");
+        let snap = sys.metrics();
+        assert_eq!(snap.counter("heal/heal0/epochs"), Some(mon.stats().epochs));
+        assert_eq!(
+            snap.counter("rebroadcast/standby0/data_packets"),
+            Some(0),
+            "a standby must stay silent"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use es_proto::{encode_announce, AnnouncePacket, Packet, StreamInfo};
 use es_sim::{shared, RepeatingTimer, Shared, Sim, SimDuration, SimTime};
 
 /// Periodically announces the channel line-up.
+#[derive(Clone)]
 pub struct CatalogAnnouncer {
     state: Shared<AnnouncerState>,
 }

@@ -1,0 +1,389 @@
+//! The self-healing control loop (DESIGN.md §10).
+//!
+//! A [`HealMonitor`] wakes once per virtual-time *epoch*, takes the
+//! same merged [`MetricsSnapshot`] an operator would poll, and feeds
+//! per-receiver deltas (interval loss, deadline-miss growth, clock
+//! drift) to [`es_heal`]'s pure detector. The actions that come back —
+//! plus two the monitor derives itself, NACK retransmission from the
+//! speakers' gap ledgers and producer failover from a stalled
+//! control-packet counter — are executed against the live system and
+//! journaled under component `heal`, every event carrying `action` and
+//! `target` fields (the `es-analyze` `heal-event-fields` rule enforces
+//! this).
+//!
+//! Everything here is driven by the deterministic simulator: the same
+//! seed heals the same way, bit for bit, at any fleet-thread count.
+
+use std::rc::Rc;
+
+use es_heal::{EpochSample, FleetDetector, HealAction, HealPolicy, HealStats, Health};
+use es_rebroadcast::Rebroadcaster;
+use es_sim::{RepeatingTimer, Shared, Sim, SimDuration};
+use es_speaker::EthernetSpeaker;
+use es_telemetry::{Journal, MetricsSnapshot, Severity, Stamp};
+
+use crate::builder::MetricsHub;
+
+/// Healing-plane configuration for [`SystemBuilder::healing`].
+///
+/// [`SystemBuilder::healing`]: crate::builder::SystemBuilder::healing
+#[derive(Debug, Clone)]
+pub struct HealSpec {
+    /// Detector thresholds and the FEC ladder.
+    pub policy: HealPolicy,
+    /// Epoch length: how often telemetry is sampled and repairs run.
+    pub epoch: SimDuration,
+    /// Start a warm-standby rebroadcaster per channel, eligible for
+    /// promotion when the primary stops emitting control packets.
+    pub standby: bool,
+    /// Consecutive epochs with zero control packets (after the stream
+    /// was seen alive) before the standby is promoted.
+    pub failover_after: u32,
+}
+
+impl HealSpec {
+    /// Defaults: 500 ms epochs, default [`HealPolicy`], no standby,
+    /// failover after 2 stalled epochs.
+    pub fn new() -> Self {
+        HealSpec {
+            policy: HealPolicy::default(),
+            epoch: SimDuration::from_millis(500),
+            standby: false,
+            failover_after: 2,
+        }
+    }
+
+    /// Sets the detector policy.
+    pub fn policy(mut self, policy: HealPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the epoch length.
+    pub fn epoch(mut self, epoch: SimDuration) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Enables the warm-standby producer.
+    pub fn standby(mut self) -> Self {
+        self.standby = true;
+        self
+    }
+
+    /// Sets the failover stall threshold, in epochs.
+    pub fn failover_after(mut self, epochs: u32) -> Self {
+        self.failover_after = epochs;
+        self
+    }
+}
+
+impl Default for HealSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct MonitorState {
+    detector: FleetDetector,
+    prev: Option<MetricsSnapshot>,
+    /// Per channel: ever saw control packets flow.
+    chan_active: Vec<bool>,
+    /// Per channel: consecutive epochs with zero control packets.
+    chan_stalled: Vec<u32>,
+    /// Per channel: standby already promoted.
+    failed_over: Vec<bool>,
+    failover_after: u32,
+    journal: Journal,
+}
+
+/// The running healing plane. Clone-shareable; all state lives behind
+/// [`Shared`].
+#[derive(Clone)]
+pub struct HealMonitor {
+    hub: MetricsHub,
+    standbys: Rc<Vec<Rebroadcaster>>,
+    state: Shared<MonitorState>,
+}
+
+impl HealMonitor {
+    /// Starts the epoch timer. The first sample fires a fraction into
+    /// the first epoch so the walk lands between the broker sweep and
+    /// the producers' control cadence rather than on them.
+    pub(crate) fn start(
+        sim: &mut Sim,
+        hub: MetricsHub,
+        standbys: Vec<Rebroadcaster>,
+        spec: HealSpec,
+        journal: Journal,
+    ) -> HealMonitor {
+        let mut detector = FleetDetector::new(spec.policy);
+        if let Some(rb) = hub.rebroadcasters.first() {
+            detector.seed_fec_level(rb.fec_group());
+        }
+        let n = hub.rebroadcasters.len();
+        let state = es_sim::shared(MonitorState {
+            detector,
+            prev: None,
+            chan_active: vec![false; n],
+            chan_stalled: vec![0; n],
+            failed_over: vec![false; n],
+            failover_after: spec.failover_after,
+            journal,
+        });
+        let mon = HealMonitor {
+            hub,
+            standbys: Rc::new(standbys),
+            state,
+        };
+        let phase = spec.epoch.min(SimDuration::from_millis(170));
+        let m2 = mon.clone();
+        let timer = RepeatingTimer::start_with_phase(sim, spec.epoch, phase, move |sim| {
+            m2.tick(sim);
+        });
+        // The monitor runs for the life of the simulation, like every
+        // other component timer.
+        std::mem::forget(timer);
+        mon
+    }
+
+    /// Lifecycle counters (also exported under `heal/heal0/*` in the
+    /// system metrics snapshot).
+    pub fn stats(&self) -> HealStats {
+        self.state.borrow().detector.stats
+    }
+
+    /// The hysteresis-filtered health of receiver `name`.
+    pub fn health_of(&self, name: &str) -> Health {
+        self.state.borrow().detector.health_of(name)
+    }
+
+    /// The FEC ladder rung currently in force.
+    pub fn fec_level(&self) -> Option<u8> {
+        self.state.borrow().detector.fec_level()
+    }
+
+    fn journal(&self) -> Journal {
+        self.state.borrow().journal.clone()
+    }
+
+    /// One epoch: observe, relay NACKs, apply detector actions, check
+    /// for a dead primary.
+    fn tick(&self, sim: &mut Sim) {
+        let snap = self.hub.snapshot();
+        self.observe_receivers(&snap);
+        self.relay_nacks(sim);
+        let actions = self.state.borrow_mut().detector.end_epoch();
+        for action in actions {
+            self.execute(sim, action);
+        }
+        self.check_failover(sim, &snap);
+        self.state.borrow_mut().prev = Some(snap);
+    }
+
+    fn observe_receivers(&self, snap: &MetricsSnapshot) {
+        let mut st = self.state.borrow_mut();
+        for i in 0..self.hub.speaker_count() {
+            let Some(spk) = self.hub.speaker(i) else {
+                continue;
+            };
+            let name = spk.name();
+            let sample = match &st.prev {
+                Some(prev) => {
+                    let lost = snap
+                        .counter_delta(prev, &format!("speaker/{name}/quality_lost"))
+                        .unwrap_or(0);
+                    let received = snap
+                        .counter_delta(prev, &format!("speaker/{name}/quality_received"))
+                        .unwrap_or(0);
+                    let expected = lost + received;
+                    EpochSample {
+                        loss_fraction: if expected == 0 {
+                            0.0
+                        } else {
+                            lost as f64 / expected as f64
+                        },
+                        deadline_miss_delta: snap
+                            .counter_delta(prev, &format!("speaker/{name}/deadline_misses"))
+                            .unwrap_or(0),
+                        drift_us: snap
+                            .gauge(&format!("speaker/{name}/sync_offset_us"))
+                            .unwrap_or(0.0) as i64,
+                    }
+                }
+                // The first epoch has no baseline: treat as healthy.
+                None => EpochSample::default(),
+            };
+            st.detector.observe(&name, sample);
+        }
+    }
+
+    /// Drains every speaker's missing-sequence ledger and relays the
+    /// ranges to the stream's live producer (neighbor-assisted refill).
+    fn relay_nacks(&self, sim: &mut Sim) {
+        for i in 0..self.hub.speaker_count() {
+            let Some(spk) = self.hub.speaker(i) else {
+                continue;
+            };
+            let ranges = spk.take_missing_ranges();
+            if ranges.is_empty() {
+                continue;
+            }
+            let name = spk.name();
+            let sent = self.execute_retransmit(sim, &spk, &name, &ranges);
+            self.state.borrow_mut().detector.stats.retransmits_requested += 1;
+            self.journal().emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "heal",
+                "retransmission requested",
+                &[
+                    ("action", "retransmit".into()),
+                    ("target", name),
+                    ("ranges", format!("{ranges:?}")),
+                    ("packets", sent.to_string()),
+                ],
+            );
+        }
+    }
+
+    fn execute_retransmit(
+        &self,
+        sim: &mut Sim,
+        spk: &EthernetSpeaker,
+        name: &str,
+        ranges: &[(u32, u16)],
+    ) -> u64 {
+        // Session-routed first: the broker maps the speaker to its
+        // granted stream. Statically wired speakers (no session) fall
+        // back to group matching.
+        if let Some(broker) = self.hub.broker.as_ref() {
+            let n = broker.retransmit_for(sim, name, ranges);
+            if n > 0 {
+                return n;
+            }
+        }
+        let group = spk.tuned();
+        let failed_over = self.state.borrow().failed_over.clone();
+        for (i, rb) in self.hub.rebroadcasters.iter().enumerate() {
+            if rb.group() != group {
+                continue;
+            }
+            let producer = if failed_over[i] {
+                &self.standbys[i]
+            } else {
+                rb
+            };
+            return producer.retransmit(sim, ranges);
+        }
+        0
+    }
+
+    fn execute(&self, sim: &mut Sim, action: HealAction) {
+        match action {
+            HealAction::RaiseFec { from, to } => {
+                self.apply_fec(sim, to);
+                self.journal().emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Warn,
+                    "heal",
+                    "fec ladder raised",
+                    &[
+                        ("action", "raise_fec".into()),
+                        ("target", "fleet".into()),
+                        ("from", format!("{from:?}")),
+                        ("to", format!("{to:?}")),
+                    ],
+                );
+            }
+            HealAction::LowerFec { from, to } => {
+                self.apply_fec(sim, to);
+                self.journal().emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Info,
+                    "heal",
+                    "fec ladder lowered",
+                    &[
+                        ("action", "lower_fec".into()),
+                        ("target", "fleet".into()),
+                        ("from", format!("{from:?}")),
+                        ("to", format!("{to:?}")),
+                    ],
+                );
+            }
+            HealAction::Recovered { target } => {
+                self.journal().emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Info,
+                    "heal",
+                    "receiver recovered",
+                    &[("action", "recovered".into()), ("target", target)],
+                );
+            }
+            // Constructed and executed inline by the monitor itself.
+            HealAction::Retransmit { .. } | HealAction::Failover => {}
+        }
+    }
+
+    /// Applies a new ladder rung to every channel's *live* producer:
+    /// through the broker (which also announces it via PARAM) where
+    /// sessions are on, and directly to promoted standbys, which the
+    /// broker's stream table does not know about.
+    fn apply_fec(&self, sim: &mut Sim, to: Option<u8>) {
+        if let Some(broker) = self.hub.broker.as_ref() {
+            broker.update_fec(sim, to);
+        } else {
+            for (i, rb) in self.hub.rebroadcasters.iter().enumerate() {
+                if !self.state.borrow().failed_over[i] {
+                    rb.set_fec_group(sim, to);
+                }
+            }
+        }
+        for (i, standby) in self.standbys.iter().enumerate() {
+            if self.state.borrow().failed_over[i] {
+                standby.set_fec_group(sim, to);
+            }
+        }
+    }
+
+    /// A channel whose control-packet counter stops growing for
+    /// `failover_after` consecutive epochs — after the stream was seen
+    /// alive — has a dead primary: promote the standby.
+    fn check_failover(&self, sim: &mut Sim, snap: &MetricsSnapshot) {
+        let mut promotions = Vec::new();
+        {
+            let mut st = self.state.borrow_mut();
+            for i in 0..self.hub.rebroadcasters.len() {
+                let path = format!("rebroadcast/ch{i}/control_packets");
+                let delta = match &st.prev {
+                    Some(prev) => snap.counter_delta(prev, &path).unwrap_or(0),
+                    None => snap.counter(&path).unwrap_or(0),
+                };
+                if delta > 0 {
+                    st.chan_active[i] = true;
+                    st.chan_stalled[i] = 0;
+                    continue;
+                }
+                if !st.chan_active[i] || st.failed_over[i] {
+                    continue;
+                }
+                st.chan_stalled[i] += 1;
+                if st.chan_stalled[i] >= st.failover_after && i < self.standbys.len() {
+                    st.failed_over[i] = true;
+                    st.detector.stats.failovers += 1;
+                    promotions.push(i);
+                }
+            }
+        }
+        for i in promotions {
+            self.standbys[i].promote(sim, &self.hub.rebroadcasters[i]);
+            self.journal().emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Warn,
+                "heal",
+                "standby promoted after control stall",
+                &[("action", "failover".into()), ("target", format!("ch{i}"))],
+            );
+        }
+    }
+}

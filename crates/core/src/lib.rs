@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod catalog;
 pub mod error;
+pub mod heal_ctl;
 pub mod live;
 pub mod override_ctl;
 pub mod session_ctl;
@@ -33,6 +34,7 @@ pub mod session_ctl;
 pub use builder::{ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder};
 pub use catalog::{CatalogAnnouncer, ChannelBrowser};
 pub use error::Error;
+pub use heal_ctl::{HealMonitor, HealSpec};
 pub use live::{
     run_live_producer, run_live_speaker, LiveProducerConfig, LiveProducerReport, LiveSpeakerReport,
 };
@@ -56,9 +58,11 @@ pub mod prelude {
     };
     pub use crate::catalog::{CatalogAnnouncer, ChannelBrowser};
     pub use crate::error::Error;
+    pub use crate::heal_ctl::{HealMonitor, HealSpec};
     pub use crate::override_ctl::{OverrideController, OverrideStats};
     pub use crate::session_ctl::{NegotiatedSpeaker, SessionBroker};
     pub use es_audio::AudioConfig;
+    pub use es_heal::{HealPolicy, Health};
     pub use es_net::{Lan, LanConfig, McastGroup};
     pub use es_proto::{Capabilities, ClientPhase, DeviceClass, SessionPacket};
     pub use es_rebroadcast::{AppPacing, CompressionPolicy, RateLimiter};

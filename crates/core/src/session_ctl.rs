@@ -44,6 +44,8 @@ pub struct BrokerStats {
     pub flushes: u64,
     /// TEARDOWN packets sent (expiry and requested).
     pub teardowns: u64,
+    /// NACK PARAMs heard and routed to a stream's retransmit cache.
+    pub nacks: u64,
 }
 
 struct BrokerState {
@@ -192,13 +194,32 @@ impl SessionBroker {
                     }
                 }
             }
+            SessionPacket::Param {
+                session_id, nack, ..
+            } => {
+                // Receiver→producer PARAMs carry NACKed sequence
+                // ranges; route them to whichever stream holds the
+                // session. Producer-originated PARAMs echo back with an
+                // empty NACK list and fall through harmlessly.
+                if !nack.is_empty() {
+                    let rb = self.state.borrow().streams.iter().find_map(|(_, rb)| {
+                        rb.session_entries()
+                            .iter()
+                            .any(|e| e.session_id == session_id)
+                            .then(|| rb.clone())
+                    });
+                    if let Some(rb) = rb {
+                        self.state.borrow_mut().stats.nacks += 1;
+                        rb.retransmit(sim, &nack);
+                    }
+                }
+            }
             // Producer-originated kinds echoed back (or a second
             // producer on the segment): not ours to handle.
             SessionPacket::Offer { .. }
             | SessionPacket::SetupAck { .. }
             | SessionPacket::Refuse { .. }
-            | SessionPacket::Flush { .. }
-            | SessionPacket::Param { .. } => {}
+            | SessionPacket::Flush { .. } => {}
         }
     }
 
@@ -390,12 +411,50 @@ impl SessionBroker {
             .find_map(|(_, rb)| rb.find_session(speaker));
         let group = self.state.borrow().announce_group;
         if let Some(e) = session {
-            let pkt = SessionPacket::Param {
-                session_id: e.session_id,
-                volume_milli,
-                metadata: metadata.into(),
-            };
+            let pkt = SessionPacket::param_volume(e.session_id, volume_milli, metadata.into());
             self.send_to(sim, Dest::Multicast(group), &pkt);
+        }
+    }
+
+    /// Announces an FEC parity-group change (the healing plane's
+    /// loss-adaptive ladder): applies it to every stream's
+    /// rebroadcaster and tells each live session via a PARAM, so
+    /// negotiated receivers journal the level they should expect.
+    pub fn update_fec(&self, sim: &mut Sim, group: Option<u8>) {
+        let streams: Vec<Rebroadcaster> = self
+            .state
+            .borrow()
+            .streams
+            .iter()
+            .map(|(_, rb)| rb.clone())
+            .collect();
+        let announce = self.state.borrow().announce_group;
+        for rb in streams {
+            rb.set_fec_group(sim, group);
+            for e in rb.session_entries() {
+                let pkt = SessionPacket::param_fec(e.session_id, group);
+                self.send_to(sim, Dest::Multicast(announce), &pkt);
+            }
+        }
+    }
+
+    /// Routes NACKed sequence ranges straight into the stream's
+    /// retransmit cache on behalf of `speaker` (the heal monitor's
+    /// management-plane path; the wire path is a receiver-originated
+    /// PARAM). Returns how many cached packets went back out.
+    pub fn retransmit_for(&self, sim: &mut Sim, speaker: &str, ranges: &[(u32, u16)]) -> u64 {
+        let found = self
+            .state
+            .borrow()
+            .streams
+            .iter()
+            .find_map(|(_, rb)| rb.find_session(speaker).map(|_| rb.clone()));
+        match found {
+            Some(rb) => {
+                self.state.borrow_mut().stats.nacks += 1;
+                rb.retransmit(sim, ranges)
+            }
+            None => 0,
         }
     }
 
@@ -426,7 +485,8 @@ impl SessionBroker {
             .counter("refusals", st.stats.refusals)
             .counter("keepalives", st.stats.keepalives)
             .counter("flushes", st.stats.flushes)
-            .counter("teardowns", st.stats.teardowns);
+            .counter("teardowns", st.stats.teardowns)
+            .counter("nacks", st.stats.nacks);
     }
 }
 
@@ -550,6 +610,19 @@ impl NegotiatedSpeaker {
                 }
                 ClientAction::Resync => self.spk.resync(sim),
                 ClientAction::SetVolume(v) => self.spk.set_volume(v as f64 / 1_000.0),
+                ClientAction::SetFec { group } => {
+                    // The speaker adapts to whatever parity packets
+                    // arrive; the announcement is journaled so a fleet
+                    // operator can correlate level changes.
+                    self.journal_event(
+                        sim,
+                        "fec level announced",
+                        &[
+                            ("speaker", self.spk.name()),
+                            ("group", format!("{group:?}")),
+                        ],
+                    );
+                }
                 ClientAction::Established {
                     session_id,
                     stream_id,
@@ -868,5 +941,120 @@ mod tests {
                 ..
             }
         )));
+    }
+
+    /// A PARAM carrying NACK ranges for an established session is
+    /// routed to that stream's rebroadcaster, which re-multicasts the
+    /// cached packets; an unknown session id is ignored.
+    #[test]
+    fn param_nack_routes_to_the_rebroadcaster() {
+        let mut sim = Sim::new(13);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer-host");
+        let announce = McastGroup(0);
+        let data_group = McastGroup(5);
+        let (slave, master) = es_vad::vad_pair(es_vad::VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut rcfg = es_rebroadcast::RebroadcasterConfig::new(1, data_group);
+        rcfg.policy = es_rebroadcast::CompressionPolicy::Never;
+        let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer, master, rcfg);
+        let _app = es_rebroadcast::AudioApp::start(
+            &mut sim,
+            std::rc::Rc::new(slave),
+            es_audio::AudioConfig::CD,
+            Box::new(es_audio::gen::Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(3),
+            es_rebroadcast::AppPacing::RealTime,
+        )
+        .unwrap();
+        let info = stream_info_for(
+            1,
+            data_group,
+            "radio",
+            es_audio::AudioConfig::CD,
+            0,
+            &es_rebroadcast::CompressionPolicy::paper_default(),
+        );
+        let broker = SessionBroker::start(
+            &mut sim,
+            &lan,
+            producer,
+            announce,
+            vec![(info, rb.clone())],
+            SimDuration::from_secs(10),
+            SimDuration::from_millis(500),
+            None,
+        );
+
+        let client_node = lan.attach("es1");
+        lan.join(client_node, announce);
+        lan.join(client_node, data_group);
+        let inbox: Shared<Vec<SessionPacket>> = shared(Vec::new());
+        let data_seqs: Shared<Vec<u32>> = shared(Vec::new());
+        let (i2, d2) = (inbox.clone(), data_seqs.clone());
+        lan.set_handler(
+            client_node,
+            move |_sim, dg: Datagram| match es_proto::decode(&dg.payload) {
+                Ok(Packet::Session(sp)) => i2.borrow_mut().push(sp),
+                Ok(Packet::Data(d)) => d2.borrow_mut().push(d.seq),
+                _ => {}
+            },
+        );
+        let send = move |sim: &mut Sim, lan: &Lan, pkt: &SessionPacket| {
+            let bytes = Bytes::from(encode_session(pkt).to_vec());
+            lan.send(sim, client_node, Dest::Multicast(announce), bytes);
+        };
+
+        let l2 = lan.clone();
+        sim.schedule_at(SimTime::from_millis(10), move |sim| {
+            send(
+                sim,
+                &l2,
+                &SessionPacket::Setup {
+                    speaker: "es1".into(),
+                    stream_id: 1,
+                    codec: 0,
+                    playout_delay_us: 150_000,
+                    caps: Capabilities::any(),
+                },
+            );
+        });
+        sim.run_until(SimTime::from_secs(2));
+        let sid = inbox
+            .borrow()
+            .iter()
+            .find_map(|p| match p {
+                SessionPacket::SetupAck { session_id, .. } => Some(*session_id),
+                _ => None,
+            })
+            .expect("session granted");
+        let max_seq = *data_seqs.borrow().iter().max().expect("data flowed");
+
+        // NACK two recent sequences, plus one for a session the broker
+        // has never heard of.
+        let l3 = lan.clone();
+        sim.schedule_at(SimTime::from_millis(2_010), move |sim| {
+            send(
+                sim,
+                &l3,
+                &SessionPacket::param_nack(sid, vec![(max_seq - 1, 2)]),
+            );
+            send(
+                sim,
+                &l3,
+                &SessionPacket::param_nack(sid.wrapping_add(999), vec![(0, 1)]),
+            );
+        });
+        sim.run_until(SimTime::from_millis(2_500));
+
+        assert_eq!(broker.stats().nacks, 1, "unknown session must not route");
+        assert_eq!(rb.stats().retransmits_sent, 2);
+        let copies = data_seqs
+            .borrow()
+            .iter()
+            .filter(|&&s| s == max_seq - 1)
+            .count();
+        assert_eq!(copies, 2, "original + retransmission");
     }
 }

@@ -225,6 +225,9 @@ pub struct LanStats {
     /// Deliveries suppressed because the receiver was partitioned
     /// (subset of `datagrams_lost`).
     pub datagrams_partitioned: u64,
+    /// Deliveries suppressed by a per-receiver degrade window
+    /// ([`Lan::degrade`]; subset of `datagrams_lost`).
+    pub datagrams_degraded: u64,
     /// Deliveries held back by the reorder impairment.
     pub datagrams_reordered: u64,
     /// Extra copies created by the duplication impairment.
@@ -262,6 +265,7 @@ impl Telemetry for LanStats {
             .counter("frames_dropped", self.datagrams_lost)
             .counter("frames_dropped_partial", self.datagrams_lost_partial)
             .counter("frames_partitioned", self.datagrams_partitioned)
+            .counter("frames_degraded", self.datagrams_degraded)
             .counter("frames_reordered", self.datagrams_reordered)
             .counter("frames_duplicated", self.datagrams_duplicated)
             .counter("multicast_frames", self.multicast_sent)
@@ -301,6 +305,10 @@ struct Node {
     /// While set and in the future, every delivery to this node drops
     /// (its switch port is dark).
     partitioned_until: Option<SimTime>,
+    /// Extra per-datagram loss probability for this receiver alone (a
+    /// flaky NIC or radio link); 0.0 = healthy. One draw per datagram
+    /// from the node's private stream, on top of the LAN-wide model.
+    degrade_loss: f64,
 }
 
 /// Derives a node's private RNG stream from the sim seed. SplitMix64's
@@ -365,6 +373,7 @@ impl Lan {
             rng: None,
             burst_chain: GilbertElliott::new(),
             partitioned_until: None,
+            degrade_loss: 0.0,
         });
         NodeId(inner.nodes.len() as u32 - 1)
     }
@@ -498,6 +507,48 @@ impl Lan {
         }
     }
 
+    /// Sets (or, with `loss_prob == 0.0`, clears) an extra
+    /// per-datagram loss probability on deliveries to `node` — one
+    /// flaky NIC or radio link, while the rest of the segment stays
+    /// clean. The draw comes from the node's private RNG stream, so
+    /// the impairment pattern is independent of fleet size and lane
+    /// count. Journaled when a journal is attached.
+    pub fn degrade(&self, sim: &mut Sim, node: NodeId, loss_prob: f64) {
+        let journal = {
+            let mut inner = self.inner.borrow_mut();
+            inner.nodes[node.0 as usize].degrade_loss = loss_prob.clamp(0.0, 1.0);
+            inner.journal.clone()
+        };
+        if let Some(j) = journal {
+            if loss_prob > 0.0 {
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Warn,
+                    "net",
+                    "receiver degraded",
+                    &[
+                        ("node", self.node_name(node)),
+                        ("loss_prob", format!("{loss_prob}")),
+                    ],
+                );
+            } else {
+                j.emit(
+                    Stamp::virtual_ns(sim.now().as_nanos()),
+                    Severity::Info,
+                    "net",
+                    "receiver degrade cleared",
+                    &[("node", self.node_name(node))],
+                );
+            }
+        }
+    }
+
+    /// The extra per-datagram loss probability currently applied to
+    /// `node` (0.0 = healthy).
+    pub fn degrade_loss(&self, node: NodeId) -> f64 {
+        self.inner.borrow().nodes[node.0 as usize].degrade_loss
+    }
+
     /// True while `node` sits inside a partition window at `now`.
     pub fn is_partitioned(&self, node: NodeId, now: SimTime) -> bool {
         self.inner.borrow().nodes[node.0 as usize]
@@ -610,6 +661,7 @@ impl Lan {
             for r in receivers {
                 enum Outcome {
                     Partitioned,
+                    Degraded,
                     Lost {
                         partial: bool,
                     },
@@ -623,6 +675,13 @@ impl Lan {
                     let node = &mut inner.nodes[r as usize];
                     if node.partitioned_until.is_some_and(|until| now < until) {
                         Outcome::Partitioned
+                    } else if node.degrade_loss > 0.0 && {
+                        let rng = node.rng.get_or_insert_with(|| {
+                            StdRng::seed_from_u64(node_stream_seed(seed, r))
+                        });
+                        chance(rng, node.degrade_loss)
+                    } {
+                        Outcome::Degraded
                     } else {
                         let rng = node.rng.get_or_insert_with(|| {
                             StdRng::seed_from_u64(node_stream_seed(seed, r))
@@ -676,6 +735,11 @@ impl Lan {
                     Outcome::Partitioned => {
                         inner.stats.datagrams_lost += 1;
                         inner.stats.datagrams_partitioned += 1;
+                        lost += 1;
+                    }
+                    Outcome::Degraded => {
+                        inner.stats.datagrams_lost += 1;
+                        inner.stats.datagrams_degraded += 1;
                         lost += 1;
                     }
                     Outcome::Lost { partial } => {
@@ -897,6 +961,37 @@ mod tests {
         for &p in ptrs.iter() {
             assert_eq!(p, backing, "receiver saw a copied payload");
         }
+    }
+
+    #[test]
+    fn degrade_targets_one_receiver_and_clears() {
+        let mut sim = Sim::new(5);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let sick = lan.attach("es-sick");
+        let healthy = lan.attach("es-ok");
+        let g = McastGroup(7);
+        lan.join(sick, g);
+        lan.join(healthy, g);
+        let lsick = collect_deliveries(&lan, sick);
+        let lok = collect_deliveries(&lan, healthy);
+        lan.degrade(&mut sim, sick, 1.0);
+        for _ in 0..20 {
+            lan.multicast(&mut sim, producer, g, Bytes::from_static(b"pkt"));
+        }
+        sim.run();
+        assert_eq!(lsick.borrow().len(), 0, "fully degraded link drops all");
+        assert_eq!(lok.borrow().len(), 20, "healthy neighbor unaffected");
+        let stats = lan.stats();
+        assert_eq!(stats.datagrams_degraded, 20);
+        assert_eq!(stats.datagrams_lost, 20);
+        // Clearing restores delivery.
+        lan.degrade(&mut sim, sick, 0.0);
+        assert_eq!(lan.degrade_loss(sick), 0.0);
+        lan.multicast(&mut sim, producer, g, Bytes::from_static(b"pkt"));
+        sim.run();
+        assert_eq!(lsick.borrow().len(), 1);
+        assert_eq!(lan.stats().datagrams_degraded, 20, "no further drops");
     }
 
     #[test]

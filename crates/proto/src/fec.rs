@@ -188,6 +188,13 @@ impl FecRecoverer {
         }
     }
 
+    /// The parity-group size this recoverer was built for. The healing
+    /// plane compares it against arriving parity packets to notice a
+    /// mid-stream FEC level change and rebuild the recoverer.
+    pub fn group(&self) -> u8 {
+        self.group
+    }
+
     /// Packets reconstructed so far.
     pub fn recovered(&self) -> u64 {
         self.recovered

@@ -41,5 +41,6 @@ pub use packet::{
 pub use session::{
     encode_session, encode_session_into, negotiate, Capabilities, ClientAction, ClientPhase,
     DeviceClass, Grant, RefuseReason, SessionClient, SessionClientConfig, SessionEntry,
-    SessionError, SessionPacket, SessionTable, TeardownReason,
+    SessionError, SessionPacket, SessionTable, TeardownReason, MAX_NACK_RANGES,
+    PARAM_FEC_MAX_GROUP, PARAM_FEC_OFF, PARAM_FEC_UNCHANGED, PARAM_VOLUME_UNCHANGED,
 };

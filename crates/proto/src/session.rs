@@ -260,15 +260,74 @@ pub enum SessionPacket {
         /// Why.
         reason: TeardownReason,
     },
-    /// In-session parameter update (volume, metadata).
+    /// In-session parameter update (volume, metadata, FEC level,
+    /// NACKed sequence ranges). Either direction: producer→receiver
+    /// carries volume/metadata/FEC announcements, receiver→producer
+    /// carries NACK ranges asking for retransmission.
     Param {
         /// Session being updated.
         session_id: u32,
-        /// Volume gain in thousandths (1000 = unity).
+        /// Volume gain in thousandths (1000 = unity);
+        /// [`PARAM_VOLUME_UNCHANGED`] leaves the volume alone.
         volume_milli: u16,
         /// Free-form metadata (now-playing string and the like).
         metadata: String,
+        /// FEC parity-group change: [`PARAM_FEC_UNCHANGED`] (no
+        /// change), [`PARAM_FEC_OFF`] (disable parity), or a group
+        /// size in `2..=32`.
+        fec_group: u8,
+        /// Missed sequence ranges as `(first_seq, count)` pairs, at
+        /// most [`MAX_NACK_RANGES`] per packet, each count ≥ 1.
+        nack: Vec<(u32, u16)>,
     },
+}
+
+/// `Param::volume_milli` sentinel: leave the volume unchanged.
+pub const PARAM_VOLUME_UNCHANGED: u16 = u16::MAX;
+/// `Param::fec_group` sentinel: leave the FEC level unchanged.
+pub const PARAM_FEC_UNCHANGED: u8 = 0;
+/// `Param::fec_group` sentinel: disable parity emission.
+pub const PARAM_FEC_OFF: u8 = 1;
+/// Largest parity group expressible in a PARAM (matches
+/// [`crate::fec`]'s wire bound).
+pub const PARAM_FEC_MAX_GROUP: u8 = 32;
+/// Most NACK ranges one PARAM may carry.
+pub const MAX_NACK_RANGES: usize = 16;
+
+impl SessionPacket {
+    /// A PARAM that only changes the volume/metadata (the original
+    /// PR 6 shape).
+    pub fn param_volume(session_id: u32, volume_milli: u16, metadata: String) -> SessionPacket {
+        SessionPacket::Param {
+            session_id,
+            volume_milli,
+            metadata,
+            fec_group: PARAM_FEC_UNCHANGED,
+            nack: Vec::new(),
+        }
+    }
+
+    /// A PARAM announcing an FEC parity-group change (`None` = off).
+    pub fn param_fec(session_id: u32, group: Option<u8>) -> SessionPacket {
+        SessionPacket::Param {
+            session_id,
+            volume_milli: PARAM_VOLUME_UNCHANGED,
+            metadata: String::new(),
+            fec_group: group.unwrap_or(PARAM_FEC_OFF),
+            nack: Vec::new(),
+        }
+    }
+
+    /// A PARAM NACKing missed sequence ranges (receiver→producer).
+    pub fn param_nack(session_id: u32, nack: Vec<(u32, u16)>) -> SessionPacket {
+        SessionPacket::Param {
+            session_id,
+            volume_milli: PARAM_VOLUME_UNCHANGED,
+            metadata: String::new(),
+            fec_group: PARAM_FEC_UNCHANGED,
+            nack,
+        }
+    }
 }
 
 impl SessionPacket {
@@ -467,11 +526,19 @@ pub fn encode_session_into(p: &SessionPacket, buf: &mut BytesMut) {
         SessionPacket::Param {
             volume_milli,
             metadata,
+            fec_group,
+            nack,
             ..
         } => {
             buf.put_u8(K_PARAM);
             buf.put_u16_le(*volume_milli);
             put_name(buf, metadata);
+            buf.put_u8(*fec_group);
+            buf.put_u8(nack.len().min(MAX_NACK_RANGES) as u8);
+            for (first, count) in nack.iter().take(MAX_NACK_RANGES) {
+                buf.put_u32_le(*first);
+                buf.put_u16_le(*count);
+            }
         }
     }
     crate::packet::finish_session(buf, start);
@@ -580,10 +647,35 @@ pub(crate) fn decode_session_body(
             }
             let volume_milli = buf.get_u16_le();
             let metadata = get_name(&mut buf)?;
+            if buf.remaining() < 2 {
+                return Err(WireError::TooShort);
+            }
+            let fec_group = buf.get_u8();
+            if fec_group > PARAM_FEC_MAX_GROUP {
+                return Err(WireError::BadField("fec group"));
+            }
+            let n_ranges = buf.get_u8() as usize;
+            if n_ranges > MAX_NACK_RANGES {
+                return Err(WireError::BadField("nack count"));
+            }
+            if buf.remaining() < n_ranges * 6 {
+                return Err(WireError::TooShort);
+            }
+            let mut nack = Vec::with_capacity(n_ranges);
+            for _ in 0..n_ranges {
+                let first = buf.get_u32_le();
+                let count = buf.get_u16_le();
+                if count == 0 {
+                    return Err(WireError::BadField("nack range length"));
+                }
+                nack.push((first, count));
+            }
             SessionPacket::Param {
                 session_id: seq,
                 volume_milli,
                 metadata,
+                fec_group,
+                nack,
             }
         }
         _ => return Err(WireError::BadField("session kind")),
@@ -654,7 +746,7 @@ pub struct SessionEntry {
 /// The producer-side session table: granted sessions keyed by id,
 /// with timeout-driven expiry. Iteration order is the key order
 /// (BTreeMap), so expiry sweeps are deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SessionTable {
     entries: std::collections::BTreeMap<u32, SessionEntry>,
     /// Sessions ever opened.
@@ -814,6 +906,14 @@ pub enum ClientAction {
     Resync,
     /// Apply a granted volume (thousandths; 1000 = unity).
     SetVolume(u16),
+    /// The producer changed the FEC parity group for this stream
+    /// (`None` = parity off). Informational: the decoder adapts to
+    /// arriving parity packets on its own; this is the journaling
+    /// hook for the healing plane.
+    SetFec {
+        /// New parity group (`None` disables parity).
+        group: Option<u8>,
+    },
     /// The handshake completed (journaling hook).
     Established {
         /// Granted session id.
@@ -1128,10 +1228,18 @@ impl SessionClient {
                 SessionPacket::Param {
                     session_id: target,
                     volume_milli,
+                    fec_group,
                     ..
                 },
             ) if target == session_id => {
-                out.push(ClientAction::SetVolume(*volume_milli));
+                if *volume_milli != PARAM_VOLUME_UNCHANGED {
+                    out.push(ClientAction::SetVolume(*volume_milli));
+                }
+                match *fec_group {
+                    PARAM_FEC_UNCHANGED => {}
+                    PARAM_FEC_OFF => out.push(ClientAction::SetFec { group: None }),
+                    g => out.push(ClientAction::SetFec { group: Some(g) }),
+                }
                 self.note_stream_alive(now_us);
             }
             _ => {}
@@ -1238,7 +1346,37 @@ mod tests {
             session_id: 42,
             volume_milli: 750,
             metadata: "now playing: chapter 3".into(),
+            fec_group: PARAM_FEC_UNCHANGED,
+            nack: vec![],
         });
+        roundtrip(SessionPacket::param_fec(42, Some(8)));
+        roundtrip(SessionPacket::param_fec(42, None));
+        roundtrip(SessionPacket::param_nack(
+            42,
+            vec![(100, 3), (200, 1), (u32::MAX - 4, 4)],
+        ));
+    }
+
+    #[test]
+    fn param_decode_rejects_bad_fec_and_nack_fields() {
+        // Out-of-range FEC group.
+        let mut bad = SessionPacket::param_fec(1, Some(8));
+        if let SessionPacket::Param { fec_group, .. } = &mut bad {
+            *fec_group = PARAM_FEC_MAX_GROUP + 1;
+        }
+        assert!(decode(&encode_session(&bad)).is_err(), "fec group > 32");
+        // Zero-length NACK range.
+        let bad = SessionPacket::param_nack(1, vec![(10, 0)]);
+        assert!(decode(&encode_session(&bad)).is_err(), "empty nack range");
+        // Oversized NACK lists are truncated at encode, never rejected
+        // on the way back in.
+        let long = SessionPacket::param_nack(1, (0..40u32).map(|i| (i, 1)).collect());
+        match decode(&encode_session(&long)).unwrap() {
+            Packet::Session(SessionPacket::Param { nack, .. }) => {
+                assert_eq!(nack.len(), MAX_NACK_RANGES);
+            }
+            other => panic!("wrong type: {other:?}"),
+        }
     }
 
     #[test]
@@ -1340,6 +1478,46 @@ mod tests {
         assert_eq!(t.closed, 1);
     }
 
+    /// Regression (PR 7 satellite): a KEEPALIVE landing in the same
+    /// epoch as the expiry sweep must never tear down a live session,
+    /// in either processing order.
+    #[test]
+    fn same_epoch_keepalive_never_expires_session() {
+        let entry = |id: u32| SessionEntry {
+            session_id: id,
+            speaker: format!("es{id}"),
+            stream_id: 1,
+            codec: 0,
+            playout_delay_us: 200_000,
+            opened_at_us: 0,
+            last_seen_us: 0,
+        };
+        let timeout = 2_000_000;
+        let epoch = 2_000_000; // Exactly at the timeout boundary.
+
+        // Order A: touch first, then sweep at the same instant.
+        let mut t = SessionTable::new();
+        t.open(entry(1));
+        assert!(t.touch(1, epoch));
+        assert!(t.expire(epoch, timeout).is_empty());
+
+        // Order B: sweep first, then touch at the same instant. The
+        // boundary is exclusive (`elapsed > timeout`), so a session
+        // exactly `timeout` old is still alive when its keepalive is
+        // racing the sweep.
+        let mut t = SessionTable::new();
+        t.open(entry(1));
+        assert!(t.expire(epoch, timeout).is_empty(), "boundary is alive");
+        assert!(t.touch(1, epoch));
+        assert!(t.expire(epoch + timeout, timeout).is_empty());
+
+        // A late-arriving keepalive with an older stamp never rolls
+        // liveness backwards.
+        assert!(t.touch(1, 1));
+        assert_eq!(t.get(1).unwrap().last_seen_us, epoch);
+        assert!(t.expire(epoch + timeout, timeout).is_empty());
+    }
+
     /// Drives a client and a hand-rolled producer loop to completion.
     #[test]
     fn client_happy_path() {
@@ -1406,15 +1584,17 @@ mod tests {
             vec![ClientAction::Resync]
         );
         assert_eq!(
-            c.on_packet(
-                41_000,
-                &SessionPacket::Param {
-                    session_id: 7,
-                    volume_milli: 500,
-                    metadata: String::new(),
-                }
-            ),
+            c.on_packet(41_000, &SessionPacket::param_volume(7, 500, String::new())),
             vec![ClientAction::SetVolume(500)]
+        );
+        // An FEC-only PARAM must not touch the volume, and vice versa.
+        assert_eq!(
+            c.on_packet(42_000, &SessionPacket::param_fec(7, Some(4))),
+            vec![ClientAction::SetFec { group: Some(4) }]
+        );
+        assert_eq!(
+            c.on_packet(43_000, &SessionPacket::param_fec(7, None)),
+            vec![ClientAction::SetFec { group: None }]
         );
         let a = c.on_packet(
             50_000,

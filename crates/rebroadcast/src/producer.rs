@@ -38,7 +38,12 @@ use es_vad::{MasterItem, VadMaster};
 use crate::policy::CompressionPolicy;
 use crate::rate::RateLimiter;
 
+/// Data packets kept for NACK retransmission (the healing plane's
+/// neighbor-assist window). At 50 ms blocks this is ~3 s of audio.
+const RECENT_CACHE: usize = 64;
+
 /// Tuning knobs for one rebroadcast stream.
+#[derive(Clone)]
 pub struct RebroadcasterConfig {
     /// Stream identifier carried in every packet.
     pub stream_id: u16,
@@ -113,6 +118,12 @@ pub struct ProducerStats {
     /// Audio blocks consumed but never sent because the process was
     /// down — each one is a sequence-number gap on the wire.
     pub crash_dropped_blocks: u64,
+    /// Cached data packets re-multicast on NACK (healing plane).
+    pub retransmits_sent: u64,
+    /// Mid-stream FEC parity-group changes applied.
+    pub fec_changes: u64,
+    /// Times this instance was promoted from standby to primary.
+    pub promotions: u64,
 }
 
 impl ProducerStats {
@@ -138,6 +149,9 @@ impl Telemetry for ProducerStats {
             .counter("config_changes", self.config_changes)
             .counter("crashes", self.crashes)
             .counter("crash_dropped_blocks", self.crash_dropped_blocks)
+            .counter("retransmits_sent", self.retransmits_sent)
+            .counter("fec_changes", self.fec_changes)
+            .counter("promotions", self.promotions)
             .gauge("compression_ratio", self.compression_ratio());
     }
 }
@@ -160,8 +174,18 @@ struct ProducerState {
     /// (sequence numbers still advance, so receivers see wire loss) and
     /// control packets stop.
     crashed: bool,
+    /// A standby holds the VAD but neither reads it nor sends anything
+    /// until [`Rebroadcaster::promote`] flips this off.
+    standby: bool,
+    /// A detached (superseded) primary stops reading the VAD and never
+    /// re-arms its readable waiter, leaving queued items for the
+    /// promoted standby.
+    detached: bool,
     stats: ProducerStats,
     parity_acc: Option<es_proto::ParityAccumulator>,
+    /// Recently sent data packets, oldest first — the retransmission
+    /// window the healing plane can NACK into.
+    recent: std::collections::VecDeque<DataPacket>,
     /// Negotiated receivers of this stream (empty in static mode). The
     /// broker in `es-core` drives open/touch/expire; the table lives
     /// here because its lifecycle counters are producer telemetry.
@@ -193,6 +217,32 @@ impl Rebroadcaster {
         master: VadMaster,
         cfg: RebroadcasterConfig,
     ) -> Rebroadcaster {
+        Rebroadcaster::start_inner(sim, lan, node, master, cfg, false)
+    }
+
+    /// Starts a *standby* rebroadcaster for the same VAD: it holds the
+    /// master but neither reads it nor sends anything until
+    /// [`Rebroadcaster::promote`] hands it the primary's stream state.
+    /// The §2.2 rebroadcaster keeps no speaker state, so a warm spare
+    /// only needs the stream clock and the session table to take over.
+    pub fn start_standby(
+        sim: &mut Sim,
+        lan: Lan,
+        node: NodeId,
+        master: VadMaster,
+        cfg: RebroadcasterConfig,
+    ) -> Rebroadcaster {
+        Rebroadcaster::start_inner(sim, lan, node, master, cfg, true)
+    }
+
+    fn start_inner(
+        sim: &mut Sim,
+        lan: Lan,
+        node: NodeId,
+        master: VadMaster,
+        cfg: RebroadcasterConfig,
+        standby: bool,
+    ) -> Rebroadcaster {
         let control_interval = cfg.control_interval;
         let cost_model = cfg.cost_model;
         let parity_acc = cfg.fec_group.map(es_proto::ParityAccumulator::new);
@@ -206,8 +256,11 @@ impl Rebroadcaster {
             data_seq: 0,
             control_seq: 0,
             crashed: false,
+            standby,
+            detached: false,
             stats: ProducerStats::default(),
             parity_acc,
+            recent: std::collections::VecDeque::new(),
             sessions: SessionTable::new(),
             journal: None,
             scratch: BytesMut::new(),
@@ -221,7 +274,8 @@ impl Rebroadcaster {
             master,
         };
         // Periodic control packets (§2.3). They start flowing once the
-        // first configuration arrives from the VAD.
+        // first configuration arrives from the VAD (and, for a standby,
+        // once it has been promoted).
         let rb2 = rb.clone();
         let _timer = RepeatingTimer::start(sim, control_interval, move |sim| {
             rb2.send_control(sim);
@@ -230,11 +284,16 @@ impl Rebroadcaster {
         // for the life of the simulation. (Stopping a stream is modelled
         // by dropping the whole Sim.)
         std::mem::forget(_timer);
-        rb.arm_reader(sim);
+        if !standby {
+            rb.arm_reader(sim);
+        }
         rb
     }
 
     fn arm_reader(&self, sim: &mut Sim) {
+        if self.state.borrow().detached {
+            return;
+        }
         let rb = self.clone();
         self.master.on_readable(move |sim| {
             rb.drain(sim);
@@ -245,6 +304,12 @@ impl Rebroadcaster {
     }
 
     fn drain(&self, sim: &mut Sim) {
+        {
+            let st = self.state.borrow();
+            if st.detached || st.standby {
+                return;
+            }
+        }
         let items = self.master.read(sim, usize::MAX);
         for item in items {
             match item {
@@ -376,13 +441,21 @@ impl Rebroadcaster {
                 let sealed = rb.seal(sim, |buf| es_proto::encode_parity_into(&parity, buf));
                 rb.lan.multicast(sim, rb.node, group, sealed);
             }
+            // Keep the packet around for NACK retransmission (payload
+            // is a shared Bytes, so the cache holds refcounts, not
+            // copies).
+            let mut st = rb.state.borrow_mut();
+            st.recent.push_back(pkt);
+            while st.recent.len() > RECENT_CACHE {
+                st.recent.pop_front();
+            }
         });
     }
 
     fn send_control(&self, sim: &mut Sim) {
         let pkt = {
             let mut st = self.state.borrow_mut();
-            if !st.have_cfg || st.crashed {
+            if !st.have_cfg || st.crashed || st.standby || st.detached {
                 return;
             }
             let seq = st.control_seq;
@@ -491,6 +564,179 @@ impl Rebroadcaster {
     /// True while the process is down.
     pub fn is_crashed(&self) -> bool {
         self.state.borrow().crashed
+    }
+
+    /// True while this instance is a warm spare awaiting promotion.
+    pub fn is_standby(&self) -> bool {
+        self.state.borrow().standby
+    }
+
+    /// Re-multicasts cached data packets covering the NACKed
+    /// `(first_seq, count)` ranges; returns how many went out. Ranges
+    /// older than the retransmission window are silently unfillable —
+    /// FEC and concealment remain the only recourse for those.
+    pub fn retransmit(&self, sim: &mut Sim, ranges: &[(u32, u16)]) -> u64 {
+        let (pkts, group) = {
+            let st = self.state.borrow();
+            if st.crashed || st.standby || st.detached {
+                return 0;
+            }
+            let mut pkts: Vec<DataPacket> = Vec::new();
+            for &(first, count) in ranges {
+                for seq in first..first.saturating_add(count as u32) {
+                    if let Some(p) = st.recent.iter().find(|p| p.seq == seq) {
+                        pkts.push(p.clone());
+                    }
+                }
+            }
+            (pkts, st.cfg.group)
+        };
+        if pkts.is_empty() {
+            return 0;
+        }
+        for pkt in &pkts {
+            let sealed = self.seal(sim, |buf| encode_data_into(pkt, buf));
+            self.lan.multicast(sim, self.node, group, sealed);
+        }
+        let n = pkts.len() as u64;
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            st.stats.retransmits_sent += n;
+            st.journal.clone().map(|j| (j, st.cfg.stream_id))
+        };
+        if let Some((j, stream_id)) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "rebroadcast",
+                "retransmitted missed packets",
+                &[
+                    ("stream_id", stream_id.to_string()),
+                    ("ranges", format!("{ranges:?}")),
+                    ("packets", n.to_string()),
+                ],
+            );
+        }
+        n
+    }
+
+    /// Changes the FEC parity-group size mid-stream (the healing
+    /// plane's loss-adaptive ladder). `None` disables parity. A
+    /// partially accumulated group is abandoned; receivers notice the
+    /// new group size on the next parity packet and rebuild their
+    /// recoverers. Group sizes outside `2..=32` are ignored.
+    pub fn set_fec_group(&self, sim: &mut Sim, group: Option<u8>) {
+        if let Some(g) = group {
+            if !(2..=32).contains(&g) {
+                return;
+            }
+        }
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            if st.cfg.fec_group == group {
+                return;
+            }
+            let from = st.cfg.fec_group;
+            st.cfg.fec_group = group;
+            st.parity_acc = group.map(es_proto::ParityAccumulator::new);
+            st.stats.fec_changes += 1;
+            st.journal.clone().map(|j| (j, from, st.cfg.stream_id))
+        };
+        if let Some((j, from, stream_id)) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Info,
+                "rebroadcast",
+                "fec level changed",
+                &[
+                    ("stream_id", stream_id.to_string()),
+                    ("from", format!("{from:?}")),
+                    ("to", format!("{group:?}")),
+                ],
+            );
+        }
+    }
+
+    /// The current FEC parity-group size, `None` when parity is off.
+    pub fn fec_group(&self) -> Option<u8> {
+        self.state.borrow().cfg.fec_group
+    }
+
+    /// The multicast group this channel transmits on.
+    pub fn group(&self) -> McastGroup {
+        self.state.borrow().cfg.group
+    }
+
+    /// Permanently detaches this instance from the VAD: it stops
+    /// reading, never re-arms its readable waiter (queued items stay
+    /// for the successor), and sends nothing further. Called on the
+    /// old primary by [`Rebroadcaster::promote`]; idempotent.
+    pub fn detach(&self, sim: &mut Sim) {
+        let journal = {
+            let mut st = self.state.borrow_mut();
+            if st.detached {
+                return;
+            }
+            st.detached = true;
+            st.journal.clone().map(|j| (j, st.cfg.stream_id))
+        };
+        if let Some((j, stream_id)) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Warn,
+                "rebroadcast",
+                "rebroadcaster detached",
+                &[("stream_id", stream_id.to_string())],
+            );
+        }
+    }
+
+    /// Promotes this standby to primary: detaches `primary`, adopts its
+    /// stream clock, sequence space, codec selection and session table
+    /// (so granted sessions and play deadlines survive the failover
+    /// bit-for-bit), then starts reading the shared VAD and announces
+    /// itself with an immediate control packet. No-op unless this
+    /// instance is a standby.
+    pub fn promote(&self, sim: &mut Sim, primary: &Rebroadcaster) {
+        {
+            if !self.state.borrow().standby {
+                return;
+            }
+        }
+        primary.detach(sim);
+        let journal = {
+            let prim = primary.state.borrow();
+            let mut st = self.state.borrow_mut();
+            st.standby = false;
+            st.stream_cfg = prim.stream_cfg;
+            st.have_cfg = prim.have_cfg;
+            st.codec = prim.codec;
+            st.quality = prim.quality;
+            st.stream_pos_ns = prim.stream_pos_ns;
+            st.origin = prim.origin;
+            st.data_seq = prim.data_seq;
+            st.control_seq = prim.control_seq;
+            st.sessions = prim.sessions.clone();
+            st.stats.promotions += 1;
+            st.journal
+                .clone()
+                .map(|j| (j, st.cfg.stream_id, st.data_seq, st.sessions.active()))
+        };
+        if let Some((j, stream_id, at_seq, sessions)) = journal {
+            j.emit(
+                Stamp::virtual_ns(sim.now().as_nanos()),
+                Severity::Warn,
+                "rebroadcast",
+                "standby promoted",
+                &[
+                    ("stream_id", stream_id.to_string()),
+                    ("at_seq", at_seq.to_string()),
+                    ("sessions_adopted", sessions.to_string()),
+                ],
+            );
+        }
+        self.arm_reader(sim);
+        self.send_control(sim);
     }
 
     /// Counter snapshot.
@@ -982,6 +1228,183 @@ mod tests {
         assert!(
             data.windows(2).all(|w| w[1].play_at_us >= w[0].play_at_us),
             "deadlines regressed across the restart"
+        );
+    }
+
+    #[test]
+    fn retransmit_replays_recent_packets() {
+        let mut sim = Sim::new(1);
+        let (rb, log, _app) = rig(&mut sim, RateLimiter::new(), CompressionPolicy::Never);
+        sim.run_until(SimTime::from_secs(3));
+        let max_seq = log
+            .borrow()
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Data(d) => Some(d.seq),
+                _ => None,
+            })
+            .max()
+            .expect("data flowed");
+        // Two cached sequences plus a range past the end of the stream
+        // (never sent, so never cached).
+        let sent = rb.retransmit(&mut sim, &[(max_seq - 2, 2), (max_seq + 10, 3)]);
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sent, 2);
+        assert_eq!(rb.stats().retransmits_sent, 2);
+        let copies = log
+            .borrow()
+            .iter()
+            .filter(|(_, p)| matches!(p, Packet::Data(d) if d.seq == max_seq - 2))
+            .count();
+        assert_eq!(copies, 2, "original + retransmission");
+        // Nothing cached leaves nothing to send.
+        assert_eq!(rb.retransmit(&mut sim, &[(max_seq + 100, 1)]), 0);
+    }
+
+    #[test]
+    fn fec_level_change_emits_new_parity_group() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let producer = lan.attach("producer");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let log: Shared<Vec<(SimTime, Packet)>> = shared(Vec::new());
+        let l = log.clone();
+        lan.set_handler(listener, move |sim: &mut Sim, dg: Datagram| {
+            if let Ok(p) = es_proto::decode(&dg.payload) {
+                l.borrow_mut().push((sim.now(), p));
+            }
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut rcfg = RebroadcasterConfig::new(7, group);
+        rcfg.policy = CompressionPolicy::Never;
+        rcfg.fec_group = Some(4);
+        let rb = Rebroadcaster::start(&mut sim, lan.clone(), producer, master, rcfg);
+        let _app = AudioApp::start(
+            &mut sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(2),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        let rb2 = rb.clone();
+        sim.schedule_at(SimTime::from_secs(1), move |sim| {
+            rb2.set_fec_group(sim, Some(2));
+            rb2.set_fec_group(sim, Some(2)); // no-op repeat
+            rb2.set_fec_group(sim, Some(99)); // out of range: ignored
+        });
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(rb.stats().fec_changes, 1);
+        assert_eq!(rb.fec_group(), Some(2));
+        let log = log.borrow();
+        let counts: Vec<(SimTime, u8)> = log
+            .iter()
+            .filter_map(|(t, p)| match p {
+                Packet::Parity(p) => Some((*t, p.count)),
+                _ => None,
+            })
+            .collect();
+        assert!(counts.iter().any(|&(_, c)| c == 4), "{counts:?}");
+        assert!(counts.iter().any(|&(_, c)| c == 2), "{counts:?}");
+        for &(t, c) in &counts {
+            if t < SimTime::from_secs(1) {
+                assert_eq!(c, 4, "pre-change parity at {t}");
+            } else if t > SimTime::from_millis(1_200) {
+                assert_eq!(c, 2, "post-change parity at {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn standby_promotion_preserves_clock_and_sequences() {
+        let mut sim = Sim::new(1);
+        let lan = Lan::new(LanConfig::default());
+        let n1 = lan.attach("producer");
+        let n2 = lan.attach("standby");
+        let listener = lan.attach("listener");
+        let group = McastGroup(1);
+        lan.join(listener, group);
+        let log: Shared<Vec<(SimTime, Packet)>> = shared(Vec::new());
+        let l = log.clone();
+        lan.set_handler(listener, move |sim: &mut Sim, dg: Datagram| {
+            if let Ok(p) = es_proto::decode(&dg.payload) {
+                l.borrow_mut().push((sim.now(), p));
+            }
+        });
+        let (slave, master) = vad_pair(VadMode::KernelThread {
+            poll: SimDuration::from_millis(10),
+        });
+        let mut c1 = RebroadcasterConfig::new(7, group);
+        c1.policy = CompressionPolicy::Never;
+        let primary = Rebroadcaster::start(&mut sim, lan.clone(), n1, master.clone(), c1);
+        let mut c2 = RebroadcasterConfig::new(7, group);
+        c2.policy = CompressionPolicy::Never;
+        let standby = Rebroadcaster::start_standby(&mut sim, lan.clone(), n2, master, c2);
+        assert!(standby.is_standby());
+        let _app = AudioApp::start(
+            &mut sim,
+            Rc::new(slave),
+            AudioConfig::CD,
+            Box::new(Sine::new(440.0, 44_100, 0.5)),
+            SimDuration::from_secs(4),
+            AppPacing::RealTime,
+        )
+        .unwrap();
+        let p2 = primary.clone();
+        sim.schedule_at(SimTime::from_secs(1), move |sim| p2.crash(sim));
+        let (s2, p3) = (standby.clone(), primary.clone());
+        sim.schedule_at(SimTime::from_millis(1_800), move |sim| {
+            s2.promote(sim, &p3);
+        });
+        sim.run_until(SimTime::from_secs(6));
+
+        assert!(!standby.is_standby());
+        assert_eq!(standby.stats().promotions, 1);
+        assert!(standby.stats().data_packets > 0, "standby never sent");
+
+        let log = log.borrow();
+        // Dark while crashed and unpromoted; nothing from the standby
+        // before its promotion.
+        let dark = log
+            .iter()
+            .filter(|(t, _)| *t > SimTime::from_millis(1_100) && *t < SimTime::from_millis(1_800))
+            .count();
+        assert_eq!(dark, 0, "{dark} packets while failed over");
+        // A control packet goes out at the promotion instant.
+        let first_ctl_after = log
+            .iter()
+            .find_map(|(t, p)| match p {
+                Packet::Control(_) if *t >= SimTime::from_millis(1_800) => Some(*t),
+                _ => None,
+            })
+            .expect("no control packet after promotion");
+        assert!(
+            first_ctl_after <= SimTime::from_millis(1_810),
+            "{first_ctl_after}"
+        );
+        // One sequence space across both processes: strictly
+        // increasing, with the outage visible as a gap, and play
+        // deadlines continuous (the adopted stream clock).
+        let data: Vec<&DataPacket> = log
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Data(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            data.windows(2).all(|w| w[1].seq > w[0].seq),
+            "seq replayed or regressed"
+        );
+        assert!(data.windows(2).any(|w| w[1].seq > w[0].seq + 1), "no gap");
+        assert!(
+            data.windows(2).all(|w| w[1].play_at_us >= w[0].play_at_us),
+            "deadlines regressed across the failover"
         );
     }
 }

@@ -232,6 +232,10 @@ struct SpkState {
     serial_queue: std::collections::VecDeque<Pending>,
     /// Highest data sequence number seen (gap detection for PLC).
     last_seq: Option<u32>,
+    /// Sequence ranges `(first, count)` detected missing and not yet
+    /// naturally filled — the healing plane drains these into NACK
+    /// retransmit requests. Bounded; oldest ranges fall off the front.
+    missing_ranges: Vec<(u32, u16)>,
     /// Recently accepted sequence numbers (bounded window) — the
     /// duplicate-suppression filter.
     seen_seqs: std::collections::BTreeSet<u32>,
@@ -258,6 +262,47 @@ struct SpkState {
     /// this node listens to are handed up here (the negotiated-mode
     /// wrapper owns the handshake; the speaker stays a §2.3 radio).
     session_hook: Option<SessionHook>,
+}
+
+/// Most missing-range entries a speaker holds pending retransmission.
+const MAX_MISSING_RANGES: usize = 32;
+/// Longest single missing range worth reporting (a jump bigger than
+/// this is a stream restart, not a loss burst).
+const MAX_MISSING_RANGE_LEN: u32 = 1_024;
+
+impl SpkState {
+    /// Notes a freshly detected sequence gap for the NACK ledger.
+    fn note_missing_range(&mut self, first: u32, count: u32) {
+        if count == 0 || count > MAX_MISSING_RANGE_LEN {
+            return;
+        }
+        self.missing_ranges
+            .push((first, count.min(u16::MAX as u32) as u16));
+        while self.missing_ranges.len() > MAX_MISSING_RANGES {
+            self.missing_ranges.remove(0);
+        }
+    }
+
+    /// A previously-missing sequence number arrived after all (reorder,
+    /// FEC recovery, or a retransmission): shrink or split its range so
+    /// it is not NACKed again.
+    fn clear_missing(&mut self, seq: u32) {
+        let mut out: Vec<(u32, u16)> = Vec::with_capacity(self.missing_ranges.len());
+        for &(first, count) in &self.missing_ranges {
+            let end = first + count as u32; // exclusive
+            if seq < first || seq >= end {
+                out.push((first, count));
+                continue;
+            }
+            if seq > first {
+                out.push((first, (seq - first) as u16));
+            }
+            if seq + 1 < end {
+                out.push((seq + 1, (end - seq - 1) as u16));
+            }
+        }
+        self.missing_ranges = out;
+    }
 }
 
 /// Callback receiving control-plane packets (see
@@ -299,6 +344,7 @@ impl EthernetSpeaker {
             serial_busy: false,
             serial_queue: std::collections::VecDeque::new(),
             last_seq: None,
+            missing_ranges: Vec::new(),
             seen_seqs: std::collections::BTreeSet::new(),
             fec: None,
             monitor: es_proto::StreamMonitor::new(),
@@ -354,7 +400,9 @@ impl EthernetSpeaker {
             st.clock = ClockSync::new();
             st.dev_configured = false;
             st.last_seq = None;
+            st.missing_ranges.clear();
             st.seen_seqs.clear();
+            st.fec = None;
             if let Some(j) = st.journal.clone() {
                 j.emit(
                     Stamp::virtual_ns(sim.now().as_nanos()),
@@ -398,6 +446,14 @@ impl EthernetSpeaker {
     /// management console would poll.
     pub fn quality(&self) -> es_proto::QualityReport {
         self.state.borrow().monitor.report()
+    }
+
+    /// Drains the missing-sequence ledger: ranges `(first, count)` the
+    /// speaker detected as lost and which no late arrival has filled.
+    /// The healing plane turns these into NACK retransmit requests;
+    /// taking them resets the ledger so a range is reported once.
+    pub fn take_missing_ranges(&self) -> Vec<(u32, u16)> {
+        std::mem::take(&mut self.state.borrow_mut().missing_ranges)
     }
 
     /// The DAC output tap (what actually played, with timestamps).
@@ -448,6 +504,7 @@ impl EthernetSpeaker {
         st.phase = Phase::WaitingForControl;
         st.clock = ClockSync::new();
         st.last_seq = None;
+        st.missing_ranges.clear();
         st.seen_seqs.clear();
         st.stats.session_resyncs += 1;
         if let Some(j) = st.journal.clone() {
@@ -494,6 +551,8 @@ impl EthernetSpeaker {
             .gauge("sync_offset_us", offset.unwrap_or(0) as f64)
             .gauge("quality_loss_fraction", report.loss_fraction)
             .gauge("quality_jitter_us", report.jitter_us)
+            .counter("quality_received", report.received)
+            .counter("quality_lost", report.lost)
             .counter("quality_reordered", report.reordered)
             .counter("quality_duplicates", report.duplicates);
     }
@@ -612,6 +671,27 @@ impl EthernetSpeaker {
             Packet::Parity(p) => {
                 let recovered = {
                     let mut st = self.state.borrow_mut();
+                    // The healing plane can change the FEC level mid-stream;
+                    // a parity packet with a different group size means the
+                    // old recoverer's partial state is for a dead layout.
+                    if let Some(old) = st.fec.as_ref().map(|f| f.group()) {
+                        if old != p.count {
+                            st.fec = Some(es_proto::FecRecoverer::new(p.count));
+                            if let Some(j) = st.journal.clone() {
+                                j.emit(
+                                    Stamp::virtual_ns(sim.now().as_nanos()),
+                                    Severity::Info,
+                                    "speaker",
+                                    "fec parity group changed",
+                                    &[
+                                        ("speaker", st.cfg.name.clone()),
+                                        ("from", old.to_string()),
+                                        ("to", p.count.to_string()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
                     let fec = st
                         .fec
                         .get_or_insert_with(|| es_proto::FecRecoverer::new(p.count));
@@ -701,11 +781,19 @@ impl EthernetSpeaker {
         let conceal = {
             let mut st = self.state.borrow_mut();
             let gap = match st.last_seq {
-                Some(last) if d.seq > last + 1 => (d.seq - last - 1).min(3),
+                Some(last) if d.seq > last + 1 => {
+                    let raw = d.seq - last - 1;
+                    st.note_missing_range(last + 1, raw);
+                    raw.min(3)
+                }
                 _ => 0,
             };
             if d.seq >= st.last_seq.unwrap_or(0) {
                 st.last_seq = Some(d.seq);
+            } else {
+                // A late arrival (reorder, FEC recovery or a healing-plane
+                // retransmission) fills a hole we may have NACKed.
+                st.clear_missing(d.seq);
             }
             if gap > 0 && st.cfg.conceal_loss && !st.last_block.is_empty() {
                 Some((gap, st.last_block.clone()))
@@ -1342,5 +1430,105 @@ mod tests {
         let st = spk.stats();
         assert_eq!(st.dropped_duplicate, 0, "{st:?}");
         assert_eq!(st.data_packets, 2);
+    }
+
+    #[test]
+    fn missing_ranges_noted_and_pruned_on_late_fill() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        let base = sim.now().as_micros() + 400_000;
+        // Sequences 0 then 5: a four-packet hole [1, 4].
+        lan.multicast(&mut sim, producer, g, data_packet(0, base, 100));
+        sim.run();
+        lan.multicast(&mut sim, producer, g, data_packet(5, base + 50_000, 100));
+        sim.run();
+        // Sequence 2 arrives late (a retransmission): the hole splits.
+        lan.multicast(&mut sim, producer, g, data_packet(2, base + 20_000, 100));
+        sim.run();
+        let ranges = spk.take_missing_ranges();
+        assert_eq!(ranges, vec![(1, 1), (3, 2)], "split around the late fill");
+        // The ledger drains on take.
+        assert!(spk.take_missing_ranges().is_empty());
+        sim.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn resync_clears_missing_ranges() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        let base = sim.now().as_micros() + 400_000;
+        lan.multicast(&mut sim, producer, g, data_packet(0, base, 100));
+        sim.run();
+        lan.multicast(&mut sim, producer, g, data_packet(3, base + 30_000, 100));
+        sim.run();
+        spk.resync(&mut sim);
+        assert!(
+            spk.take_missing_ranges().is_empty(),
+            "flush must forget pre-resync gaps"
+        );
+        sim.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn parity_group_change_rebuilds_recoverer() {
+        use es_proto::{encode_parity, ParityAccumulator};
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        let base = sim.now().as_micros() + 400_000;
+        let raw = |seq: u32| data_packet(seq, base + seq as u64 * 10_000, 100);
+        let data_of = |bytes: &Bytes| {
+            let es_proto::Packet::Data(d) = es_proto::decode(bytes).unwrap() else {
+                unreachable!()
+            };
+            d
+        };
+        // Priming group [0, 4): fully delivered. Its parity instantiates
+        // the recoverer (it is created lazily on first parity).
+        let mut acc = ParityAccumulator::new(4);
+        let mut parity = None;
+        for seq in 0..4u32 {
+            let b = raw(seq);
+            parity = acc.absorb(&data_of(&b)).or(parity);
+            lan.multicast(&mut sim, producer, g, b);
+            sim.run();
+        }
+        lan.multicast(&mut sim, producer, g, encode_parity(&parity.unwrap()));
+        sim.run();
+        // Lossy group [4, 8): seq 6 withheld — parity rebuilds it.
+        let mut parity = None;
+        for seq in 4..8u32 {
+            let b = raw(seq);
+            parity = acc.absorb(&data_of(&b)).or(parity);
+            if seq != 6 {
+                lan.multicast(&mut sim, producer, g, b);
+                sim.run();
+            }
+        }
+        lan.multicast(&mut sim, producer, g, encode_parity(&parity.unwrap()));
+        sim.run();
+        assert_eq!(spk.stats().fec_recovered, 1, "{:?}", spk.stats());
+        // The healing plane tightens FEC to groups of 2: the first
+        // count=2 parity must rebuild the recoverer, which then still
+        // recovers a loss at the new level (parity-first ordering).
+        let mut acc2 = ParityAccumulator::new(2);
+        let mut parity2 = None;
+        for seq in 8..10u32 {
+            parity2 = acc2.absorb(&data_of(&raw(seq))).or(parity2);
+        }
+        lan.multicast(&mut sim, producer, g, encode_parity(&parity2.unwrap()));
+        sim.run();
+        lan.multicast(&mut sim, producer, g, raw(8)); // seq 9 withheld
+        sim.run();
+        assert_eq!(spk.stats().fec_recovered, 2, "{:?}", spk.stats());
+        sim.run_for(SimDuration::from_secs(1));
     }
 }

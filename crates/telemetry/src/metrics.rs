@@ -388,6 +388,63 @@ impl MetricsSnapshot {
             .sum()
     }
 
+    /// The distinct instance labels recorded under one component, in
+    /// sorted order — the monitor loop's roster of replicas to examine
+    /// each epoch.
+    pub fn instances(&self, component: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if m.key.component == component && out.last() != Some(&m.key.instance.as_str()) {
+                out.push(&m.key.instance);
+            }
+        }
+        out
+    }
+
+    /// Every counter of one component instance as `(name, value)`
+    /// pairs, in name order (the snapshot is key-sorted).
+    pub fn counters_for<'a>(
+        &'a self,
+        component: &'a str,
+        instance: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.metrics.iter().filter_map(move |m| {
+            if m.key.component != component || m.key.instance != instance {
+                return None;
+            }
+            match &m.value {
+                MetricValue::Counter(c) => Some((m.key.name.as_str(), *c)),
+                _ => None,
+            }
+        })
+    }
+
+    /// Per-counter growth for one component instance since `earlier`,
+    /// as `(name, delta)` pairs in name order. Counters absent from
+    /// `earlier` (born this epoch) report their full current value;
+    /// shrunken counters saturate to zero like
+    /// [`counter_delta`](Self::counter_delta).
+    pub fn counter_deltas_for<'s>(
+        &'s self,
+        earlier: &MetricsSnapshot,
+        component: &str,
+        instance: &str,
+    ) -> Vec<(&'s str, u64)> {
+        self.metrics
+            .iter()
+            .filter(|m| m.key.component == component && m.key.instance == instance)
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(now) => {
+                    let before = earlier
+                        .counter(&format!("{component}/{instance}/{}", m.key.name))
+                        .unwrap_or(0);
+                    Some((m.key.name.as_str(), now.saturating_sub(before)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Serializes to JSON lines, one metric per line, sorted by key.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
@@ -598,6 +655,44 @@ mod tests {
             Some(0)
         );
         assert_eq!(late.counter_delta(&early, "net/lan0/nope"), None);
+    }
+
+    #[test]
+    fn delta_iteration_helpers() {
+        let snap = |played: u64, missed: u64| {
+            let mut r = Registry::new();
+            r.set_instance("es0");
+            {
+                let mut s = r.component("speaker");
+                s.counter("samples_played", played);
+                s.counter("deadline_misses", missed);
+                s.gauge("sync_offset_us", 12.0);
+            }
+            r.set_instance("es1");
+            r.component("speaker").counter("samples_played", 5);
+            r.set_instance("lan0");
+            r.component("net").counter("frames_sent", 9);
+            r.snapshot()
+        };
+        let (early, late) = (snap(100, 2), snap(180, 3));
+        assert_eq!(late.instances("speaker"), vec!["es0", "es1"]);
+        assert_eq!(late.instances("net"), vec!["lan0"]);
+        assert!(late.instances("heal").is_empty());
+        // Gauges are excluded from counter iteration.
+        let counters: Vec<_> = late.counters_for("speaker", "es0").collect();
+        assert_eq!(
+            counters,
+            vec![("deadline_misses", 3u64), ("samples_played", 180)]
+        );
+        assert_eq!(
+            late.counter_deltas_for(&early, "speaker", "es0"),
+            vec![("deadline_misses", 1u64), ("samples_played", 80)]
+        );
+        // A counter born after `earlier` reports its full value.
+        assert_eq!(
+            late.counter_deltas_for(&MetricsSnapshot::default(), "speaker", "es1"),
+            vec![("samples_played", 5u64)]
+        );
     }
 
     #[test]

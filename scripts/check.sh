@@ -71,6 +71,39 @@ diff -r target/chaos-a target/chaos-fleet || {
     exit 1
 }
 
+# Healing determinism gate: the self-healing tier (FEC ladder, NACK
+# refill, producer failover, flap damping) runs twice per seed in
+# separate processes over a 3-seed matrix; fingerprints must match
+# byte for byte. One run also archives every scenario's event journal
+# under results/healing-journal/ — the heal/ events in there are what
+# the es-analyze heal-event-fields rule audits for action/target.
+echo "== healing determinism (3-seed matrix, cross-process)"
+rm -rf results/healing-journal
+for seed in 61 62 63; do
+    rm -rf target/heal-a target/heal-b
+    ES_CHAOS_SEED=$seed ES_CHAOS_FP_DIR=target/heal-a \
+        ES_CHAOS_JOURNAL_DIR=results/healing-journal \
+        cargo test -q --test healing
+    ES_CHAOS_SEED=$seed ES_CHAOS_FP_DIR=target/heal-b cargo test -q --test healing
+    diff -r target/heal-a target/heal-b || {
+        echo "healing plane is nondeterministic at seed $seed: fingerprints differ between identical runs" >&2
+        exit 1
+    }
+done
+
+# Live-UDP session smoke, skips surfaced: sandboxes without multicast
+# loopback print a `SKIPPED:` marker per skipped test instead of
+# passing silently; the count is part of the gate's output so a CI
+# environment that never exercises the UDP path is visible.
+echo "== live-udp session smoke (skips surfaced)"
+udp_out=$(cargo test -q --test session_udp -- --nocapture 2>&1) || {
+    printf '%s\n' "$udp_out" >&2
+    exit 1
+}
+printf '%s\n' "$udp_out"
+udp_skips=$(printf '%s\n' "$udp_out" | grep -c '^SKIPPED:' || true)
+echo "session_udp skipped tests: $udp_skips"
+
 # Session-mode determinism gate: the negotiated-session scenarios
 # (discover → setup → stream → flush → teardown, plus the mid-handshake
 # partition) run twice in separate processes and their fingerprints

@@ -7,8 +7,10 @@
 //! transport differs. Time is synthetic — each loop iteration advances
 //! a per-thread microsecond clock — so the determinism lints hold and
 //! the handshake logic, not the host clock, drives the protocol.
-//! Sandboxes that forbid multicast skip quietly, same as the other
-//! live tests.
+//! Sandboxes that forbid multicast skip *explicitly*: every skip
+//! prints a `SKIPPED:` marker to stdout (run with `--nocapture`) and
+//! journals the reason, so `scripts/check.sh` can count skips instead
+//! of mistaking an unsupported sandbox for a green run.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -29,6 +31,9 @@ const TICK_US: u64 = 5_000;
 const MAX_LOOPS: usize = 2_000;
 
 fn skip(journal: &Journal, reason: String) {
+    // The marker line is the machine-readable contract with
+    // scripts/check.sh; keep the prefix stable.
+    println!("SKIPPED: session_udp: {reason}");
     journal.emit(
         Stamp::wall_now(),
         Severity::Warn,

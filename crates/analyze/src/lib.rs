@@ -64,6 +64,7 @@ pub fn analyze_source(file: &SourceFile, src: &str) -> Vec<Finding> {
     let ctx = rules::FileCtx {
         file,
         tokens: &lexed.tokens,
+        comments: &lexed.comments,
         pragmas: &pragmas,
     };
     let mut out = Vec::new();

@@ -7,7 +7,7 @@
 //! an `// es-allow(rule): reason` pragma, so the audit trail lives
 //! next to the code it excuses.
 
-use crate::lexer::Token;
+use crate::lexer::{LineComment, Token};
 use crate::pragma::Pragma;
 use crate::walker::{Role, SourceFile};
 
@@ -26,6 +26,9 @@ pub struct FileCtx<'a> {
     pub file: &'a SourceFile,
     /// Lexed code tokens (comments and string contents excluded).
     pub tokens: &'a [Token],
+    /// Line comments in source order — marker comments like
+    /// `// es-hot-path` scope rules to regions of a file.
+    pub comments: &'a [LineComment],
     /// Parsed suppression pragmas.
     pub pragmas: &'a [Pragma],
 }
@@ -83,6 +86,11 @@ pub fn all() -> Vec<Rule> {
             id: "heal-event-fields",
             summary: "journal events on the heal component must carry action and target fields",
             check: heal_event_fields,
+        },
+        Rule {
+            id: "hot-path-alloc",
+            summary: "Vec::new / .to_vec / .collect inside an // es-hot-path region",
+            check: hot_path_alloc,
         },
         Rule {
             id: "pragma",
@@ -394,6 +402,81 @@ fn heal_event_fields(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     out
 }
 
+/// Collects `(start, end)` line ranges bounded by `// es-hot-path`
+/// marker comments. A marker opens a region that runs to the matching
+/// `// es-hot-path-end` (or end of file when there is none). Markers
+/// are plain comments, not pragmas: they declare "steady-state code
+/// here must not allocate", and the `hot-path-alloc` rule enforces it.
+fn hot_path_regions(comments: &[LineComment]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut open: Option<u32> = None;
+    for c in comments {
+        match c.text.trim_start_matches(['/', '!']).trim() {
+            "es-hot-path" => open = open.or(Some(c.line)),
+            "es-hot-path-end" => {
+                if let Some(start) = open.take() {
+                    regions.push((start, c.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = open {
+        regions.push((start, u32::MAX));
+    }
+    regions
+}
+
+/// Zero-allocation contract for decode hot paths: inside an
+/// `// es-hot-path` region, per-call allocators are findings. The
+/// region markers sit on the codec/speaker decode loops, where every
+/// packet's buffers must come from the decode arena or a pooled
+/// buffer — one stray `.to_vec()` reintroduces a per-packet
+/// allocation the BENCH_PR6 gate was built to keep out.
+fn hot_path_alloc(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
+    let regions = hot_path_regions(ctx.comments);
+    if regions.is_empty() {
+        return Vec::new();
+    }
+    let in_region = |line: u32| regions.iter().any(|&(s, e)| s <= line && line <= e);
+    let t = ctx.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        let Token::Ident { line, text } = &t[i] else {
+            continue;
+        };
+        if !in_region(*line) {
+            continue;
+        }
+        let method_pos = i > 0 && matches!(t[i - 1], Token::Punct { ch: '.', .. });
+        let what = match text.as_str() {
+            // `Vec::new(` — a fresh heap vector per call.
+            "Vec"
+                if matches!(t.get(i + 1), Some(Token::Punct { ch: ':', .. }))
+                    && matches!(t.get(i + 2), Some(Token::Punct { ch: ':', .. }))
+                    && matches!(t.get(i + 3), Some(Token::Ident { text: m, .. }) if m == "new") =>
+            {
+                "Vec::new()"
+            }
+            // `vec![...]` allocates exactly like Vec::new + pushes.
+            "vec" if matches!(t.get(i + 1), Some(Token::Punct { ch: '!', .. })) => "vec![]",
+            "to_vec" if method_pos => ".to_vec()",
+            "collect" if method_pos => ".collect()",
+            _ => continue,
+        };
+        out.push(RawFinding {
+            line: *line,
+            message: format!(
+                "`{what}` allocates inside an `// es-hot-path` region; the decode hot \
+                 path must stay allocation-free in steady state — reuse the decode \
+                 arena or a pooled/caller-provided buffer (or move the one-time \
+                 allocation out of the region)"
+            ),
+        });
+    }
+    out
+}
+
 fn pragma_names_known_rule(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     ctx.pragmas
         .iter()
@@ -424,6 +507,7 @@ mod tests {
         let ctx = FileCtx {
             file: &file,
             tokens: &lexed.tokens,
+            comments: &lexed.comments,
             pragmas: &pragmas,
         };
         let mut out = Vec::new();
@@ -565,6 +649,50 @@ mod tests {
         // `emit` not in method position is not a journal call.
         let free = r#"fn emit(a: &str) {} fn g() { emit("heal"); }"#;
         assert!(run_on("crates/core/src/heal_ctl.rs", free).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_scopes_to_marked_regions() {
+        // No marker: allocations are fine anywhere.
+        assert!(run_on(
+            "crates/codec/src/ovl.rs",
+            "fn f() -> Vec<u8> { let v = Vec::new(); v }"
+        )
+        .is_empty());
+        // Inside a region: Vec::new, vec!, .to_vec and .collect all fire.
+        let marked = "// es-hot-path\n\
+                      fn f(xs: &[u8]) {\n\
+                      let a: Vec<u8> = Vec::new();\n\
+                      let b = vec![0u8; 4];\n\
+                      let c = xs.to_vec();\n\
+                      let d: Vec<u8> = xs.iter().copied().collect();\n\
+                      }";
+        assert_eq!(
+            run_on("crates/codec/src/ovl.rs", marked),
+            vec![
+                ("hot-path-alloc".to_string(), 3),
+                ("hot-path-alloc".to_string(), 4),
+                ("hot-path-alloc".to_string(), 5),
+                ("hot-path-alloc".to_string(), 6),
+            ]
+        );
+        // es-hot-path-end closes the region.
+        let bounded = "// es-hot-path\n\
+                       fn hot(out: &mut Vec<u8>) { out.clear(); }\n\
+                       // es-hot-path-end\n\
+                       fn cold(xs: &[u8]) -> Vec<u8> { xs.to_vec() }";
+        assert!(run_on("crates/codec/src/ovl.rs", bounded).is_empty());
+        // Non-allocating idioms inside a region are clean.
+        let clean = "// es-hot-path\n\
+                     fn f(out: &mut Vec<i16>, xs: &[i16]) {\n\
+                     out.clear();\n\
+                     out.extend_from_slice(xs);\n\
+                     out.resize(xs.len() * 2, 0);\n\
+                     }";
+        assert!(run_on("crates/codec/src/ovl.rs", clean).is_empty());
+        // `collect` not in method position (a local fn) is out of scope.
+        let free = "// es-hot-path\nfn collect() {} fn g() { collect(); }";
+        assert!(run_on("crates/codec/src/ovl.rs", free).is_empty());
     }
 
     #[test]

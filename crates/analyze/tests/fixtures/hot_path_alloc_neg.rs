@@ -1,0 +1,21 @@
+//! Negative fixture: the hot region reuses caller-provided buffers
+//! (clear/extend/resize never reallocate in steady state), allocation
+//! happens outside the region, and `to_vec` inside a comment or
+//! string is invisible to the lexer.
+
+// es-hot-path
+pub fn decode_window(payload: &[u8], out: &mut Vec<i16>) {
+    // A naive version would call payload.to_vec() here; we don't.
+    let note = "collect() is banned in this region";
+    let _ = note;
+    out.clear();
+    out.extend(payload.iter().map(|&b| b as i16));
+    out.resize(payload.len() * 2, 0);
+}
+// es-hot-path-end
+
+pub fn setup_scratch(frames: usize) -> Vec<i16> {
+    let mut v = Vec::new();
+    v.resize(frames, 0);
+    v
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: per-call allocations inside an `// es-hot-path`
+//! region. Expect four `hot-path-alloc` findings.
+
+// es-hot-path
+pub fn decode_window(payload: &[u8]) -> Vec<i16> {
+    let mut out: Vec<i16> = Vec::new();
+    let header = vec![0u8; 6];
+    let copy = payload.to_vec();
+    let widened: Vec<i16> = copy.iter().map(|&b| b as i16).collect();
+    let _ = header;
+    out.extend(widened);
+    out
+}
+// es-hot-path-end

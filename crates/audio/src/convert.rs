@@ -166,6 +166,7 @@ pub fn alaw_to_linear(alaw: u8) -> i16 {
     ALAW_TABLE[alaw as usize]
 }
 
+// es-hot-path
 /// Fills a preallocated output with one 2-byte pattern per sample —
 /// a single resize plus straight-line stores per frame, instead of a
 /// length-checked `extend_from_slice` call per sample.
@@ -180,51 +181,75 @@ fn pack_16(samples: &[i16], out: &mut Vec<u8>, pack: impl Fn(i16) -> [u8; 2]) {
 /// Packs interleaved linear samples into the byte layout of `enc`.
 pub fn encode_samples(samples: &[i16], enc: Encoding) -> Vec<u8> {
     let mut out = Vec::with_capacity(samples.len() * enc.bytes_per_sample() as usize);
+    encode_samples_into(samples, enc, &mut out);
+    out
+}
+
+/// [`encode_samples`] into a caller-owned buffer, so steady-state
+/// callers can recycle one allocation across packets. The buffer is
+/// cleared first.
+pub fn encode_samples_into(samples: &[i16], enc: Encoding, out: &mut Vec<u8>) {
+    out.clear();
     match enc {
         Encoding::ULaw => out.extend(samples.iter().map(|&s| linear_to_ulaw(s))),
         Encoding::ALaw => out.extend(samples.iter().map(|&s| linear_to_alaw(s))),
         Encoding::Slinear8 => out.extend(samples.iter().map(|&s| (s >> 8) as u8)),
         Encoding::Ulinear8 => out.extend(samples.iter().map(|&s| (((s >> 8) as i32) + 128) as u8)),
-        Encoding::Slinear16Le => pack_16(samples, &mut out, |s| s.to_le_bytes()),
-        Encoding::Slinear16Be => pack_16(samples, &mut out, |s| s.to_be_bytes()),
-        Encoding::Ulinear16Le => {
-            pack_16(samples, &mut out, |s| ((s as u16) ^ 0x8000).to_le_bytes())
-        }
-        Encoding::Ulinear16Be => {
-            pack_16(samples, &mut out, |s| ((s as u16) ^ 0x8000).to_be_bytes())
-        }
+        Encoding::Slinear16Le => pack_16(samples, out, |s| s.to_le_bytes()),
+        Encoding::Slinear16Be => pack_16(samples, out, |s| s.to_be_bytes()),
+        Encoding::Ulinear16Le => pack_16(samples, out, |s| ((s as u16) ^ 0x8000).to_le_bytes()),
+        Encoding::Ulinear16Be => pack_16(samples, out, |s| ((s as u16) ^ 0x8000).to_be_bytes()),
     }
-    out
 }
+
+// es-hot-path-end
 
 /// Unpacks a byte stream in the layout of `enc` into linear samples.
 ///
 /// For 16-bit encodings a trailing odd byte (a torn frame from a
 /// truncated packet) is ignored.
 pub fn decode_samples(bytes: &[u8], enc: Encoding) -> Vec<i16> {
+    let mut out = Vec::new();
+    decode_samples_into(bytes, enc, &mut out);
+    out
+}
+
+// es-hot-path
+/// [`decode_samples`] into a caller-provided buffer (cleared first).
+/// Reusing `out` across packets makes steady-state decode
+/// allocation-free; each arm extends from a LUT-mapped iterator the
+/// autovectorizer can unroll.
+pub fn decode_samples_into(bytes: &[u8], enc: Encoding, out: &mut Vec<i16>) {
+    out.clear();
     match enc {
-        Encoding::ULaw => bytes.iter().map(|&b| ulaw_to_linear(b)).collect(),
-        Encoding::ALaw => bytes.iter().map(|&b| alaw_to_linear(b)).collect(),
-        Encoding::Slinear8 => bytes.iter().map(|&b| ((b as i8) as i16) << 8).collect(),
-        Encoding::Ulinear8 => bytes.iter().map(|&b| ((b as i16) - 128) << 8).collect(),
-        Encoding::Slinear16Le => bytes
-            .chunks_exact(2)
-            .map(|c| i16::from_le_bytes([c[0], c[1]]))
-            .collect(),
-        Encoding::Slinear16Be => bytes
-            .chunks_exact(2)
-            .map(|c| i16::from_be_bytes([c[0], c[1]]))
-            .collect(),
-        Encoding::Ulinear16Le => bytes
-            .chunks_exact(2)
-            .map(|c| (u16::from_le_bytes([c[0], c[1]]) ^ 0x8000) as i16)
-            .collect(),
-        Encoding::Ulinear16Be => bytes
-            .chunks_exact(2)
-            .map(|c| (u16::from_be_bytes([c[0], c[1]]) ^ 0x8000) as i16)
-            .collect(),
+        Encoding::ULaw => out.extend(bytes.iter().map(|&b| ulaw_to_linear(b))),
+        Encoding::ALaw => out.extend(bytes.iter().map(|&b| alaw_to_linear(b))),
+        Encoding::Slinear8 => out.extend(bytes.iter().map(|&b| ((b as i8) as i16) << 8)),
+        Encoding::Ulinear8 => out.extend(bytes.iter().map(|&b| ((b as i16) - 128) << 8)),
+        Encoding::Slinear16Le => out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|c| i16::from_le_bytes([c[0], c[1]])),
+        ),
+        Encoding::Slinear16Be => out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|c| i16::from_be_bytes([c[0], c[1]])),
+        ),
+        Encoding::Ulinear16Le => out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|c| (u16::from_le_bytes([c[0], c[1]]) ^ 0x8000) as i16),
+        ),
+        Encoding::Ulinear16Be => out.extend(
+            bytes
+                .chunks_exact(2)
+                .map(|c| (u16::from_be_bytes([c[0], c[1]]) ^ 0x8000) as i16),
+        ),
     }
 }
+
+// es-hot-path-end
 
 #[cfg(test)]
 mod tests {

@@ -143,13 +143,18 @@ pub fn run() -> PerfReport {
         };
         let mut projections: Vec<(usize, f64)> = Vec::new();
         for &t in &thread_counts {
-            let (wall, projected) = if t == 1 {
-                (base.wall, base.wall)
+            let wall = if t == 1 {
+                base.wall
             } else {
                 let run = fleet_run(s, audio, t);
                 assert!(run.samples_played > 0, "fleet run {s}x{t}: no audio played");
-                (run.wall, projected_of(t))
+                run.wall
             };
+            // Every tier's projection comes from the same model —
+            // `span_ns(1)` is the whole decode work, so t1 projects to
+            // its own measured wall and the speedup ratios are
+            // internally consistent.
+            let projected = projected_of(t);
             metrics.push((format!("t{t}_wall_seconds"), wall));
             metrics.push((format!("t{t}_projected_wall_seconds"), projected));
             metrics.push((
@@ -164,6 +169,9 @@ pub fn run() -> PerfReport {
                 .find(|(t, _)| *t == want)
                 .map(|(_, w)| *w)
         };
+        if let (Some(one), Some(two)) = (projected_at(1), projected_at(2)) {
+            metrics.push(("speedup_t2".into(), one / two));
+        }
         if let (Some(one), Some(four)) = (projected_at(1), projected_at(4)) {
             metrics.push(("speedup_t4".into(), one / four));
         }

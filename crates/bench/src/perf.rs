@@ -232,6 +232,68 @@ pub fn packet_group(iters: u32) -> Vec<(String, f64)> {
     ]
 }
 
+/// DSP-kernel group: Msamples/s through each batch kernel in
+/// [`es_codec::dsp`] over one second of CD stereo, plus the zero-alloc
+/// OVL decode rate the kernels compose into (`decode_into` against the
+/// codec's reusable arena — no per-packet allocation after warm-up).
+pub fn dsp_kernels_group(iters: u32) -> Vec<(String, f64)> {
+    use es_codec::dsp;
+    let samples = stereo_music(44_100); // 1 s of CD stereo.
+    let frames = samples.len() / 2;
+    let mframes = frames as f64 / 1e6;
+
+    let mut plane = vec![0.0f32; frames];
+    let deint_spi = secs_per_iter(iters, || {
+        dsp::deinterleave_normalize(&samples, 2, 0, &mut plane);
+        plane[0]
+    });
+    let mut inter = vec![0i16; samples.len()];
+    let inter_spi = secs_per_iter(iters, || {
+        dsp::interleave_denormalize(&plane, 2, 0, &mut inter);
+        inter[0]
+    });
+    let scale = dsp::peak_abs(&plane).max(1e-6);
+    let mut quantized = vec![0i32; frames];
+    let quant_spi = secs_per_iter(iters, || {
+        dsp::quantize_band(&plane, scale, 1023, &mut quantized);
+        quantized[0]
+    });
+    let mut coeffs = vec![0.0f32; frames];
+    let dequant_spi = secs_per_iter(iters, || {
+        dsp::dequantize_band(&quantized, scale, 1023, &mut coeffs);
+        coeffs[0]
+    });
+    let mut acc = vec![0.0f32; frames];
+    let overlap_spi = secs_per_iter(iters, || {
+        dsp::accumulate(&mut acc, &coeffs);
+        acc[0]
+    });
+    let peak_spi = secs_per_iter(iters, || dsp::peak_abs(&plane));
+
+    let codec = es_codec::OvlCodec::new();
+    let encoded = codec.encode(&samples, 2, es_codec::MAX_QUALITY);
+    let mut out = Vec::new();
+    let decode_spi = secs_per_iter(iters / 4 + 1, || {
+        codec
+            .decode_into(&encoded.bytes, &mut out)
+            .expect("valid packet");
+        out.len()
+    });
+
+    vec![
+        ("deinterleave_msamples_per_sec".into(), mframes / deint_spi),
+        ("interleave_msamples_per_sec".into(), mframes / inter_spi),
+        ("quantize_msamples_per_sec".into(), mframes / quant_spi),
+        ("dequantize_msamples_per_sec".into(), mframes / dequant_spi),
+        ("overlap_add_msamples_per_sec".into(), mframes / overlap_spi),
+        ("peak_abs_msamples_per_sec".into(), mframes / peak_spi),
+        (
+            "ovl_decode_msamples_per_sec".into(),
+            samples.len() as f64 / 1e6 / decode_spi,
+        ),
+    ]
+}
+
 /// Pipeline group: full simulated system (producer → LAN → speaker,
 /// OVL at max quality) throughput in audio-seconds per wall-second.
 pub fn pipeline_group(audio_seconds: u64) -> Vec<(String, f64)> {

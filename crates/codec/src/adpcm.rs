@@ -167,6 +167,17 @@ pub fn adpcm_encode(samples: &[i16], channels: u8) -> Vec<u8> {
 /// Decodes a packet produced by [`adpcm_encode`]. Returns interleaved
 /// samples and the channel count.
 pub fn adpcm_decode(bytes: &[u8]) -> Result<(Vec<i16>, u8), AdpcmError> {
+    let mut out = Vec::new();
+    let channels = adpcm_decode_into(bytes, &mut out)?;
+    Ok((out, channels))
+}
+
+// es-hot-path
+/// [`adpcm_decode`] into a caller-provided buffer (cleared and
+/// resized), returning the channel count. Reusing `out` across packets
+/// makes steady-state decode allocation-free; channel predictor state
+/// lives in a fixed stack array (the header caps channels at 8).
+pub fn adpcm_decode_into(bytes: &[u8], out: &mut Vec<i16>) -> Result<u8, AdpcmError> {
     if bytes.len() < 5 {
         return Err(AdpcmError::ShortPayload);
     }
@@ -183,15 +194,18 @@ pub fn adpcm_decode(bytes: &[u8]) -> Result<(Vec<i16>, u8), AdpcmError> {
     if bytes.len() < state_end {
         return Err(AdpcmError::ShortPayload);
     }
-    let mut states = Vec::with_capacity(ch);
-    for c in 0..ch {
+    let mut states = [ChannelState {
+        predictor: 0,
+        index: 0,
+    }; 8];
+    for (c, state) in states.iter_mut().enumerate().take(ch) {
         let off = 5 + 3 * c;
         let predictor = i16::from_le_bytes([bytes[off], bytes[off + 1]]) as i32;
         let index = bytes[off + 2] as i32;
         if index > 88 {
             return Err(AdpcmError::BadHeader("step index"));
         }
-        states.push(ChannelState { predictor, index });
+        *state = ChannelState { predictor, index };
     }
 
     let total_codes = per_ch * ch;
@@ -200,16 +214,19 @@ pub fn adpcm_decode(bytes: &[u8]) -> Result<(Vec<i16>, u8), AdpcmError> {
         return Err(AdpcmError::ShortPayload);
     }
     let data = &bytes[state_end..];
-    let mut out = vec![0i16; total_codes];
-    for i in 0..total_codes {
+    out.clear();
+    out.resize(total_codes, 0);
+    for (i, slot) in out.iter_mut().enumerate() {
         let byte = data[i / 2];
         let code = if i % 2 == 0 { byte >> 4 } else { byte & 0x0F };
         let c = i % ch;
         states[c].step(code);
-        out[i] = states[c].predictor as i16;
+        *slot = states[c].predictor as i16;
     }
-    Ok((out, channels))
+    Ok(channels)
 }
+
+// es-hot-path-end
 
 #[cfg(test)]
 mod tests {

@@ -6,11 +6,18 @@
 //! zig-zag signed mapping both the OVL and ADPCM paths use.
 
 /// MSB-first bit writer.
+///
+/// Bits accumulate in a 64-bit register and spill to the byte vector
+/// eight bytes at a time, so a Rice code (flag + unary + remainder)
+/// costs a couple of shifts instead of one loop iteration per bit.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     bytes: Vec<u8>,
-    // Number of bits already used in the final byte (0..8).
-    used: u8,
+    // Pending bits, left-aligned: the MSB of `acc` is the next bit to
+    // reach the stream.
+    acc: u64,
+    // Number of valid bits in `acc` (0..64).
+    fill: u32,
 }
 
 impl BitWriter {
@@ -19,39 +26,77 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer backed by `bytes` (cleared), reusing its
+    /// allocation across packets.
+    pub fn with_buffer(mut bytes: Vec<u8>) -> Self {
+        bytes.clear();
+        BitWriter {
+            bytes,
+            acc: 0,
+            fill: 0,
+        }
+    }
+
+    #[inline]
+    fn flush_acc(&mut self) {
+        // Spill whole bytes from the top of the accumulator.
+        while self.fill >= 8 {
+            self.bytes.push((self.acc >> 56) as u8);
+            self.acc <<= 8;
+            self.fill -= 8;
+        }
+    }
+
     /// Appends the low `n` bits of `value`, MSB first. `n` may be 0..=32.
     ///
     /// # Panics
     ///
     /// Panics if `n > 32`.
+    #[inline]
     pub fn write_bits(&mut self, value: u32, n: u8) {
         assert!(n <= 32, "cannot write more than 32 bits at once");
-        for i in (0..n).rev() {
-            let bit = (value >> i) & 1;
-            if self.used == 0 {
-                self.bytes.push(0);
-            }
-            let last = self.bytes.len() - 1;
-            self.bytes[last] |= (bit as u8) << (7 - self.used);
-            self.used = (self.used + 1) % 8;
+        if n == 0 {
+            return;
         }
+        let n = n as u32;
+        let masked = (value as u64) & (u64::MAX >> (64 - n));
+        if self.fill + n > 64 {
+            self.flush_acc();
+        }
+        self.acc |= masked << (64 - n - self.fill);
+        self.fill += n;
     }
 
     /// Writes a single bit.
+    #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.write_bits(bit as u32, 1);
+        if self.fill == 64 {
+            self.flush_acc();
+        }
+        self.acc |= (bit as u64) << (63 - self.fill);
+        self.fill += 1;
     }
 
     /// Writes `value` in unary: `value` one-bits then a zero-bit.
+    #[inline]
     pub fn write_unary(&mut self, value: u32) {
-        for _ in 0..value {
-            self.write_bit(true);
+        let mut ones = value;
+        // Runs of up to 32 set bits go out as one masked write.
+        while ones >= 32 {
+            self.write_bits(u32::MAX, 32);
+            ones -= 32;
         }
-        self.write_bit(false);
+        // `ones` one-bits followed by the terminating zero-bit.
+        if ones == 31 {
+            self.write_bits(u32::MAX - 1, 32);
+        } else {
+            self.write_bits((1u32 << (ones + 1)) - 2, (ones + 1) as u8);
+        }
     }
 
     /// Writes a non-negative value Rice-coded with parameter `k`:
     /// quotient in unary, remainder in `k` raw bits.
+    #[inline]
     pub fn write_rice(&mut self, value: u32, k: u8) {
         assert!(k < 32, "rice parameter must be < 32");
         let q = value >> k;
@@ -61,24 +106,45 @@ impl BitWriter {
 
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
-        if self.used == 0 {
-            self.bytes.len() * 8
-        } else {
-            (self.bytes.len() - 1) * 8 + self.used as usize
-        }
+        self.bytes.len() * 8 + self.fill as usize
     }
 
     /// Finishes the stream, padding the final byte with zero bits.
-    pub fn into_bytes(self) -> Vec<u8> {
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.flush_acc();
+        if self.fill > 0 {
+            self.bytes.push((self.acc >> 56) as u8);
+        }
+        self.bytes
+    }
+
+    /// Finishes the stream into `out` (appending), returning the
+    /// writer's buffer for reuse. Zero-allocation counterpart of
+    /// [`BitWriter::into_bytes`].
+    pub fn drain_into(mut self, out: &mut Vec<u8>) -> Vec<u8> {
+        self.flush_acc();
+        if self.fill > 0 {
+            self.bytes.push((self.acc >> 56) as u8);
+        }
+        out.extend_from_slice(&self.bytes);
         self.bytes
     }
 }
 
 /// MSB-first bit reader over a byte slice.
+///
+/// Mirrors [`BitWriter`]: bytes stream into a left-aligned 64-bit
+/// accumulator, so Rice decodes resolve their unary run with one
+/// `leading_zeros` instead of a per-bit loop.
 #[derive(Debug, Clone)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
-    pos: usize, // bit position
+    // Next byte to load into the accumulator.
+    byte_pos: usize,
+    // Loaded bits, left-aligned; bits below `fill` are zero.
+    acc: u64,
+    // Number of valid bits in `acc` (0..=64).
+    fill: u32,
 }
 
 /// Error returned when a read runs past the end of the stream.
@@ -96,52 +162,103 @@ impl std::error::Error for OutOfBits {}
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
+        BitReader {
+            bytes,
+            byte_pos: 0,
+            acc: 0,
+            fill: 0,
+        }
     }
 
     /// Remaining readable bits.
     pub fn remaining(&self) -> usize {
-        self.bytes.len() * 8 - self.pos
+        (self.bytes.len() - self.byte_pos) * 8 + self.fill as usize
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        while self.fill <= 56 && self.byte_pos < self.bytes.len() {
+            self.acc |= (self.bytes[self.byte_pos] as u64) << (56 - self.fill);
+            self.fill += 8;
+            self.byte_pos += 1;
+        }
     }
 
     /// Reads a single bit.
+    #[inline]
     pub fn read_bit(&mut self) -> Result<bool, OutOfBits> {
-        if self.pos >= self.bytes.len() * 8 {
-            return Err(OutOfBits);
+        if self.fill == 0 {
+            self.refill();
+            if self.fill == 0 {
+                return Err(OutOfBits);
+            }
         }
-        let byte = self.bytes[self.pos / 8];
-        let bit = (byte >> (7 - (self.pos % 8))) & 1;
-        self.pos += 1;
+        let bit = self.acc >> 63;
+        self.acc <<= 1;
+        self.fill -= 1;
         Ok(bit == 1)
     }
 
     /// Reads `n` bits MSB-first into the low bits of the result.
+    #[inline]
     pub fn read_bits(&mut self, n: u8) -> Result<u32, OutOfBits> {
         assert!(n <= 32, "cannot read more than 32 bits at once");
-        if self.remaining() < n as usize {
-            return Err(OutOfBits);
+        if n == 0 {
+            return Ok(0);
         }
-        let mut v = 0u32;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u32;
+        let n = n as u32;
+        if self.fill < n {
+            self.refill();
+            if self.fill < n {
+                return Err(OutOfBits);
+            }
         }
+        let v = (self.acc >> (64 - n)) as u32;
+        self.acc <<= n;
+        self.fill -= n;
         Ok(v)
     }
 
     /// Reads a unary-coded value, bounded to guard against corrupt
     /// streams (fails after 2^20 consecutive one-bits).
+    #[inline]
     pub fn read_unary(&mut self) -> Result<u32, OutOfBits> {
         let mut v = 0u32;
-        while self.read_bit()? {
-            v += 1;
+        loop {
+            if self.fill == 0 {
+                self.refill();
+                if self.fill == 0 {
+                    return Err(OutOfBits);
+                }
+            }
+            // Bits below `fill` are zero, so `!acc` has a set bit at or
+            // above position `fill` and this count never overshoots.
+            let ones = (!self.acc).leading_zeros();
+            if ones < self.fill {
+                // The run terminates inside the loaded bits: consume the
+                // ones plus the terminating zero in one shift.
+                v += ones;
+                // `ones + 1` can reach 64 (a 63-one run filling the
+                // accumulator); shift in two steps to stay in range.
+                self.acc = (self.acc << ones) << 1;
+                self.fill -= ones + 1;
+                if v > (1 << 20) {
+                    return Err(OutOfBits);
+                }
+                return Ok(v);
+            }
+            // The whole accumulator is ones; drain it and keep going.
+            v += self.fill;
+            self.acc = 0;
+            self.fill = 0;
             if v > (1 << 20) {
                 return Err(OutOfBits);
             }
         }
-        Ok(v)
     }
 
     /// Reads a Rice-coded value with parameter `k`.
+    #[inline]
     pub fn read_rice(&mut self, k: u8) -> Result<u32, OutOfBits> {
         let q = self.read_unary()?;
         let r = self.read_bits(k)?;

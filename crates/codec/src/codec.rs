@@ -5,10 +5,10 @@
 //! data packet so a speaker can decode any stream it tunes to without
 //! negotiating with the producer (§2.3's stateless design).
 
-use es_audio::convert::{decode_samples, encode_samples};
+use es_audio::convert::{decode_samples_into, encode_samples};
 use es_audio::Encoding;
 
-use crate::adpcm::{adpcm_decode, adpcm_encode, AdpcmError};
+use crate::adpcm::{adpcm_decode_into, adpcm_encode, AdpcmError};
 use crate::ovl::{OvlCodec, OvlError, MAX_QUALITY};
 
 /// Wire identifiers for payload codecs.
@@ -195,37 +195,51 @@ impl Codecs {
         bytes: &[u8],
         channels: u8,
     ) -> Result<(Vec<i16>, u64), CodecError> {
+        let mut out = Vec::new();
+        let work = self.decode_into(codec, bytes, channels, &mut out)?;
+        Ok((out, work))
+    }
+
+    /// [`Codecs::decode`] into a caller-provided buffer (cleared
+    /// first), returning the work units. Reusing `out` across packets
+    /// makes the steady-state decode path allocation-free end to end —
+    /// the per-lane fleet decoders thread a recycled buffer through
+    /// here.
+    pub fn decode_into(
+        &self,
+        codec: CodecId,
+        bytes: &[u8],
+        channels: u8,
+        out: &mut Vec<i16>,
+    ) -> Result<u64, CodecError> {
         match codec {
             CodecId::Pcm => {
-                let s = decode_samples(bytes, Encoding::Slinear16Le);
-                let work = s.len() as u64;
-                Ok((s, work))
+                decode_samples_into(bytes, Encoding::Slinear16Le, out);
+                Ok(out.len() as u64)
             }
             CodecId::ULaw => {
-                let s = decode_samples(bytes, Encoding::ULaw);
-                let work = s.len() as u64 * 2;
-                Ok((s, work))
+                decode_samples_into(bytes, Encoding::ULaw, out);
+                Ok(out.len() as u64 * 2)
             }
             CodecId::Adpcm => {
-                let (s, ch) = adpcm_decode(bytes)?;
+                let ch = adpcm_decode_into(bytes, out)?;
                 if ch != channels {
                     return Err(CodecError::ChannelMismatch {
                         expected: channels,
                         got: ch,
                     });
                 }
-                let work = s.len() as u64 * 4;
-                Ok((s, work))
+                Ok(out.len() as u64 * 4)
             }
             CodecId::Ovl => {
-                let out = self.ovl.decode(bytes)?;
-                if out.channels != channels {
+                let (ch, work) = self.ovl.decode_into(bytes, out)?;
+                if ch != channels {
                     return Err(CodecError::ChannelMismatch {
                         expected: channels,
-                        got: out.channels,
+                        got: ch,
                     });
                 }
-                Ok((out.samples, out.work_units))
+                Ok(work)
             }
         }
     }
@@ -239,6 +253,18 @@ impl Codecs {
     ) -> Result<(Vec<i16>, u64), CodecError> {
         let codec = CodecId::from_wire(wire_codec).ok_or(CodecError::UnknownCodec(wire_codec))?;
         self.decode(codec, bytes, channels)
+    }
+
+    /// [`Codecs::decode_wire`] into a caller-provided buffer.
+    pub fn decode_wire_into(
+        &self,
+        wire_codec: u8,
+        bytes: &[u8],
+        channels: u8,
+        out: &mut Vec<i16>,
+    ) -> Result<u64, CodecError> {
+        let codec = CodecId::from_wire(wire_codec).ok_or(CodecError::UnknownCodec(wire_codec))?;
+        self.decode_into(codec, bytes, channels, out)
     }
 }
 

@@ -84,7 +84,10 @@ impl core::ops::Sub for Complex32 {
 /// using the `e^{-2πi k/len}` kernel.
 pub struct Fft {
     len: usize,
-    /// `e^{-2πi k / len}` for `k < len / 2`.
+    /// Stage-packed twiddles: for each butterfly pass with half-width
+    /// `h` (h = 2, 4, …, len/2), the `h` factors `e^{-2πi k/(2h)}`
+    /// laid out contiguously — the inner loop walks them sequentially
+    /// instead of striding through one shared table.
     twiddles: Vec<Complex32>,
     /// Bit-reversal permutation of `0..len`.
     rev: Vec<u32>,
@@ -101,10 +104,14 @@ impl Fft {
             len >= 2 && len.is_power_of_two(),
             "FFT length must be a power of two"
         );
-        let mut twiddles = Vec::with_capacity(len / 2);
-        for k in 0..len / 2 {
-            let theta = -2.0 * core::f32::consts::PI * k as f32 / len as f32;
-            twiddles.push(Complex32::from_angle(theta));
+        let mut twiddles = Vec::with_capacity(len.saturating_sub(2));
+        let mut half = 2usize;
+        while half < len {
+            for k in 0..half {
+                let theta = -core::f32::consts::PI * k as f32 / half as f32;
+                twiddles.push(Complex32::from_angle(theta));
+            }
+            half *= 2;
         }
         let bits = len.trailing_zeros();
         let rev = (0..len as u32)
@@ -136,20 +143,31 @@ impl Fft {
                 buf.swap(i, r);
             }
         }
-        let mut half = 1usize;
+        // First pass (half = 1): the twiddle is 1, so each butterfly is
+        // a bare add/sub over adjacent pairs — no multiplies.
+        for pair in buf.chunks_exact_mut(2) {
+            let a = pair[0];
+            let b = pair[1];
+            pair[0] = a + b;
+            pair[1] = a - b;
+        }
+        // Remaining passes: split each block into its low/high halves
+        // and walk them in lockstep with the strided twiddles, keeping
+        // every access bounds-check-free.
+        let mut half = 2usize;
+        let mut off = 0usize;
         while half < self.len {
-            let stride = self.len / (2 * half);
-            let mut start = 0usize;
-            while start < self.len {
-                for k in 0..half {
-                    let w = self.twiddles[k * stride];
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
+            let stage = &self.twiddles[off..off + half];
+            for block in buf.chunks_exact_mut(2 * half) {
+                let (lo, hi) = block.split_at_mut(half);
+                for ((a, b), &w) in lo.iter_mut().zip(hi.iter_mut()).zip(stage) {
+                    let t = *b * w;
+                    let x = *a;
+                    *a = x + t;
+                    *b = x - t;
                 }
-                start += 2 * half;
             }
+            off += half;
             half *= 2;
         }
     }

@@ -22,6 +22,7 @@
 pub mod adpcm;
 pub mod bitstream;
 pub mod codec;
+pub mod dsp;
 pub mod fft;
 pub mod mdct;
 pub mod ovl;

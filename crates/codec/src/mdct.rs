@@ -169,13 +169,14 @@ impl Mdct {
                 post,
             } => {
                 let mut freq = self.freq.borrow_mut();
-                for (t, slot) in freq.iter_mut().enumerate() {
-                    *slot = pre[t].scale(time[t] * window[t]);
+                for (slot, ((&t, &w), &p)) in freq.iter_mut().zip(time.iter().zip(window).zip(pre))
+                {
+                    *slot = p.scale(t * w);
                 }
                 fft.forward(&mut freq);
-                for (k, c) in coeffs.iter_mut().enumerate() {
+                for ((c, f), p) in coeffs.iter_mut().zip(freq.iter()).zip(post) {
                     // Re(V[k] · post[k])
-                    *c = freq[k].re * post[k].re - freq[k].im * post[k].im;
+                    *c = f.re * p.re - f.im * p.im;
                 }
             }
         }
@@ -199,18 +200,18 @@ impl Mdct {
                 post,
             } => {
                 let mut freq = self.freq.borrow_mut();
-                for (k, slot) in freq.iter_mut().enumerate() {
-                    *slot = if k < self.n {
-                        post[k].scale(coeffs[k])
-                    } else {
-                        Complex32::ZERO
-                    };
+                let (head, tail) = freq.split_at_mut(self.n);
+                for ((slot, &c), p) in head.iter_mut().zip(coeffs).zip(post) {
+                    *slot = p.scale(c);
                 }
+                tail.fill(Complex32::ZERO);
                 fft.forward(&mut freq);
                 let scale = 2.0 / self.n as f32;
-                for (t, out) in time.iter_mut().enumerate() {
+                for ((out, f), (p, &w)) in
+                    time.iter_mut().zip(freq.iter()).zip(pre.iter().zip(window))
+                {
                     // Re(pre[t] · D[t])
-                    *out = scale * window[t] * (pre[t].re * freq[t].re - pre[t].im * freq[t].im);
+                    *out = scale * w * (p.re * f.re - p.im * f.im);
                 }
             }
         }
@@ -265,15 +266,21 @@ impl Mdct {
         let mut asm = self.asm.borrow_mut();
         for w in 0..windows {
             // Window w covers padded[(w-1)*n .. (w+1)*n] with zero fill
-            // outside the signal.
-            let start = w as isize - 1;
-            for (t, slot) in asm.iter_mut().enumerate() {
-                let idx = start * n as isize + t as isize;
-                *slot = if idx < 0 || idx as usize >= padded.len() {
-                    0.0
+            // outside the signal; each half is either a straight copy
+            // or all zeros, so assembly is two memcpy-shaped moves
+            // instead of a per-sample branch.
+            {
+                let (head, tail) = asm.split_at_mut(n);
+                if w == 0 {
+                    head.fill(0.0);
                 } else {
-                    padded[idx as usize]
-                };
+                    head.copy_from_slice(&padded[(w - 1) * n..w * n]);
+                }
+                if w * n >= padded.len() {
+                    tail.fill(0.0);
+                } else {
+                    tail.copy_from_slice(&padded[w * n..(w + 1) * n]);
+                }
             }
             self.forward(&asm, &mut out[w * n..(w + 1) * n]);
         }
@@ -304,12 +311,16 @@ impl Mdct {
         let mut asm = self.asm.borrow_mut();
         for w in 0..windows {
             self.inverse(&coeffs[w * n..(w + 1) * n], &mut asm);
-            let start = (w as isize - 1) * n as isize;
-            for (t, &v) in asm.iter().enumerate() {
-                let idx = start + t as isize;
-                if idx >= 0 && (idx as usize) < out_len {
-                    out[idx as usize] += v;
-                }
+            // Window w overlaps out[(w-1)*n..(w+1)*n]; the first
+            // window's left half and the last window's right half fall
+            // outside the signal and are discarded, so each remaining
+            // half is one chunked elementwise add.
+            let (head, tail) = asm.split_at(n);
+            if w > 0 {
+                crate::dsp::accumulate(&mut out[(w - 1) * n..w * n], head);
+            }
+            if w + 1 < windows {
+                crate::dsp::accumulate(&mut out[w * n..(w + 1) * n], tail);
             }
         }
     }

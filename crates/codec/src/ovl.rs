@@ -123,17 +123,21 @@ pub fn band_bits(quality: u8, band: usize) -> Option<u8> {
 
 /// The OVL codec engine. Construction precomputes the MDCT tables;
 /// reuse one instance across packets — the window pipeline runs out of
-/// flat scratch buffers that grow once and are reused per packet.
+/// a flat [`DecodeArena`] that grows once and is reused per packet, so
+/// steady-state encode and decode perform no per-packet allocation
+/// beyond the returned payload/output buffers (which callers can also
+/// recycle via [`OvlCodec::decode_into`]).
 pub struct OvlCodec {
     mdct: Mdct,
     widths: Vec<usize>,
-    scratch: RefCell<Scratch>,
+    arena: RefCell<DecodeArena>,
 }
 
 /// Reusable per-packet workspace (single-threaded; the sim never
-/// re-enters a codec call).
+/// re-enters a codec call — each fleet decode lane owns its own codec
+/// instance and therefore its own arena).
 #[derive(Default)]
-struct Scratch {
+struct DecodeArena {
     /// One channel's deinterleaved, zero-padded time samples.
     plane: Vec<f32>,
     /// Flat MDCT coefficients for all channels: channel `c`'s windows
@@ -141,6 +145,11 @@ struct Scratch {
     coeffs: Vec<f32>,
     /// One channel's reconstructed time samples.
     synth: Vec<f32>,
+    /// Quantized coefficient staging for one band (encode and decode):
+    /// Rice I/O is serial, scaling is a batch kernel over this buffer.
+    qbuf: Vec<i32>,
+    /// Recycled backing store for the encode-side bit writer.
+    bits: Vec<u8>,
 }
 
 impl Default for OvlCodec {
@@ -162,7 +171,7 @@ impl OvlCodec {
         OvlCodec {
             mdct: Mdct::with_cost_model(BLOCK, cost_model),
             widths: band_widths(BLOCK),
-            scratch: RefCell::new(Scratch::default()),
+            arena: RefCell::new(DecodeArena::default()),
         }
     }
 
@@ -183,12 +192,6 @@ impl OvlCodec {
         let per_ch = samples.len() / ch;
         let padded_len = per_ch.div_ceil(BLOCK) * BLOCK;
 
-        let mut header = Vec::with_capacity(6);
-        header.push(channels);
-        header.push(quality);
-        header.extend_from_slice(&(per_ch as u32).to_le_bytes());
-
-        let mut bw = BitWriter::new();
         let mut work: u64 = samples.len() as u64 * 4;
 
         // Deinterleave, pad and analyze channel by channel into one
@@ -196,82 +199,54 @@ impl OvlCodec {
         // channel so the decoder can stream in the same order.
         let n_windows = self.mdct.analyze_windows(padded_len);
         let wn = n_windows * BLOCK;
-        let mut scratch = self.scratch.borrow_mut();
-        let scratch = &mut *scratch;
-        scratch.coeffs.resize(ch * wn, 0.0);
+        let mut arena = self.arena.borrow_mut();
+        let arena = &mut *arena;
+        arena.coeffs.resize(ch * wn, 0.0);
+        arena.plane.resize(padded_len, 0.0);
         for c in 0..ch {
-            scratch.plane.clear();
-            scratch
-                .plane
-                .extend((0..per_ch).map(|f| samples[f * ch + c] as f32 / 32_768.0));
-            scratch.plane.resize(padded_len, 0.0);
+            crate::dsp::deinterleave_normalize(samples, ch, c, &mut arena.plane[..per_ch]);
+            arena.plane[per_ch..].fill(0.0);
             self.mdct
-                .analyze_into(&scratch.plane, &mut scratch.coeffs[c * wn..(c + 1) * wn]);
+                .analyze_into(&arena.plane, &mut arena.coeffs[c * wn..(c + 1) * wn]);
             work += n_windows as u64 * self.mdct.ops_per_transform();
         }
 
+        let mut bw = BitWriter::with_buffer(std::mem::take(&mut arena.bits));
+        arena.qbuf.resize(BLOCK, 0);
         for w in 0..n_windows {
             for c in 0..ch {
-                let coeffs = &scratch.coeffs[c * wn + w * BLOCK..][..BLOCK];
-                self.pack_window(&mut bw, coeffs, quality);
+                let coeffs = &arena.coeffs[c * wn + w * BLOCK..][..BLOCK];
+                pack_window(&self.widths, &mut bw, coeffs, quality, &mut arena.qbuf);
             }
         }
 
-        let mut bytes = header;
-        bytes.extend_from_slice(&bw.into_bytes());
+        let mut bytes = Vec::with_capacity(6 + bw.bit_len() / 8 + 1);
+        bytes.push(channels);
+        bytes.push(quality);
+        bytes.extend_from_slice(&(per_ch as u32).to_le_bytes());
+        arena.bits = bw.drain_into(&mut bytes);
         OvlEncoded {
             bytes,
             work_units: work,
         }
     }
 
-    fn pack_window(&self, bw: &mut BitWriter, coeffs: &[f32], quality: u8) {
-        // Masking model: a band whose peak sits far enough below the
-        // frame's loudest coefficient is inaudible next to it and is
-        // culled outright. The margin widens with quality (quality 10
-        // keeps everything within 60 dB of the peak).
-        let frame_max = coeffs.iter().fold(0.0f32, |m, &c| m.max(c.abs()));
-        let mask_db = 30.0 + 3.0 * quality as f32;
-        let cull_floor = (frame_max * 10f32.powf(-mask_db / 20.0)).max(1e-4);
-        let mut start = 0usize;
-        for (b, &width) in self.widths.iter().enumerate() {
-            let band = &coeffs[start..start + width];
-            start += width;
-            let bits = band_bits(quality, b);
-            let max_mag = band.iter().fold(0.0f32, |m, &c| m.max(c.abs()));
-            let (bits, keep) = match bits {
-                Some(bits) if max_mag >= cull_floor => (bits, true),
-                _ => (0, false),
-            };
-            if !keep {
-                bw.write_bit(false);
-                continue;
-            }
-            bw.write_bit(true);
-            // Scale exponent: smallest e with 2^e >= max_mag.
-            let e = max_mag.log2().ceil().clamp(-32.0, 31.0) as i32;
-            bw.write_bits((e + 32) as u32, 6);
-            let scale = (e as f32).exp2();
-            let qmax = (1i32 << (bits - 1)) - 1;
-            let quantized: Vec<i32> = band
-                .iter()
-                .map(|&c| ((c / scale * qmax as f32).round() as i32).clamp(-qmax, qmax))
-                .collect();
-            // Rice parameter adapted to this band's actual content;
-            // tonal bands are mostly zeros and pack near one bit per
-            // coefficient.
-            let mean =
-                quantized.iter().map(|&q| zigzag(q) as f64).sum::<f64>() / quantized.len() as f64;
-            let k = crate::bitstream::rice_param_for_mean(mean).min(12);
-            bw.write_bits(k as u32, 4);
-            for &q in &quantized {
-                bw.write_rice(zigzag(q), k);
-            }
-        }
-    }
-
     /// Decodes a packet produced by [`OvlCodec::encode`].
     pub fn decode(&self, bytes: &[u8]) -> Result<OvlDecoded, OvlError> {
+        let mut samples = Vec::new();
+        let (channels, work_units) = self.decode_into(bytes, &mut samples)?;
+        Ok(OvlDecoded {
+            samples,
+            channels,
+            work_units,
+        })
+    }
+
+    // es-hot-path
+    /// Decodes a packet into a caller-provided buffer (cleared and
+    /// resized), returning `(channels, work_units)`. Reusing `out`
+    /// across packets makes steady-state decode allocation-free.
+    pub fn decode_into(&self, bytes: &[u8], out: &mut Vec<i16>) -> Result<(u8, u64), OvlError> {
         if bytes.len() < 6 {
             return Err(OvlError::ShortHeader);
         }
@@ -294,64 +269,116 @@ impl OvlCodec {
         let mut br = BitReader::new(&bytes[6..]);
         let mut work: u64 = (per_ch * ch) as u64 * 2;
         let wn = n_windows * BLOCK;
-        let mut scratch = self.scratch.borrow_mut();
-        let scratch = &mut *scratch;
-        scratch.coeffs.resize(ch * wn, 0.0);
+        let mut arena = self.arena.borrow_mut();
+        let arena = &mut *arena;
+        arena.coeffs.resize(ch * wn, 0.0);
+        arena.qbuf.resize(BLOCK, 0);
         for w in 0..n_windows {
             for c in 0..ch {
-                let coeffs = &mut scratch.coeffs[c * wn + w * BLOCK..][..BLOCK];
-                self.unpack_window(&mut br, quality, coeffs)?;
+                let coeffs = &mut arena.coeffs[c * wn + w * BLOCK..][..BLOCK];
+                unpack_window(&self.widths, &mut br, quality, coeffs, &mut arena.qbuf)?;
             }
         }
 
-        let mut out = vec![0i16; per_ch * ch];
+        out.clear();
+        out.resize(per_ch * ch, 0);
         for c in 0..ch {
             self.mdct
-                .synthesize_into(&scratch.coeffs[c * wn..(c + 1) * wn], &mut scratch.synth);
+                .synthesize_into(&arena.coeffs[c * wn..(c + 1) * wn], &mut arena.synth);
             work += n_windows as u64 * self.mdct.ops_per_transform();
-            for f in 0..per_ch {
-                let v = (scratch.synth[f] * 32_767.0).clamp(-32_768.0, 32_767.0);
-                out[f * ch + c] = v as i16;
-            }
+            crate::dsp::interleave_denormalize(&arena.synth[..per_ch], ch, c, out);
         }
-        Ok(OvlDecoded {
-            samples: out,
-            channels,
-            work_units: work,
-        })
-    }
-
-    fn unpack_window(
-        &self,
-        br: &mut BitReader<'_>,
-        quality: u8,
-        coeffs: &mut [f32],
-    ) -> Result<(), OvlError> {
-        coeffs.fill(0.0);
-        let mut start = 0usize;
-        for (b, &width) in self.widths.iter().enumerate() {
-            let keep = br.read_bit().map_err(|_| OvlError::BadBitstream)?;
-            if !keep {
-                start += width;
-                continue;
-            }
-            let bits = band_bits(quality, b).ok_or(OvlError::BadBitstream)?;
-            let e = br.read_bits(6).map_err(|_| OvlError::BadBitstream)? as i32 - 32;
-            let scale = (e as f32).exp2();
-            let qmax = (1i32 << (bits - 1)) - 1;
-            let k = br.read_bits(4).map_err(|_| OvlError::BadBitstream)? as u8;
-            for i in 0..width {
-                let q = unzigzag(br.read_rice(k).map_err(|_| OvlError::BadBitstream)?);
-                if q.abs() > qmax {
-                    return Err(OvlError::BadBitstream);
-                }
-                coeffs[start + i] = q as f32 * scale / qmax as f32;
-            }
-            start += width;
-        }
-        Ok(())
+        Ok((channels, work))
     }
 }
+
+fn pack_window(
+    widths: &[usize],
+    bw: &mut BitWriter,
+    coeffs: &[f32],
+    quality: u8,
+    qbuf: &mut [i32],
+) {
+    // Masking model: a band whose peak sits far enough below the
+    // frame's loudest coefficient is inaudible next to it and is
+    // culled outright. The margin widens with quality (quality 10
+    // keeps everything within 60 dB of the peak).
+    let frame_max = crate::dsp::peak_abs(coeffs);
+    let mask_db = 30.0 + 3.0 * quality as f32;
+    let cull_floor = (frame_max * 10f32.powf(-mask_db / 20.0)).max(1e-4);
+    let mut start = 0usize;
+    for (b, &width) in widths.iter().enumerate() {
+        let band = &coeffs[start..start + width];
+        start += width;
+        let bits = band_bits(quality, b);
+        let max_mag = crate::dsp::peak_abs(band);
+        let (bits, keep) = match bits {
+            Some(bits) if max_mag >= cull_floor => (bits, true),
+            _ => (0, false),
+        };
+        if !keep {
+            bw.write_bit(false);
+            continue;
+        }
+        bw.write_bit(true);
+        // Scale exponent: smallest e with 2^e >= max_mag.
+        let e = max_mag.log2().ceil().clamp(-32.0, 31.0) as i32;
+        bw.write_bits((e + 32) as u32, 6);
+        let scale = (e as f32).exp2();
+        let qmax = (1i32 << (bits - 1)) - 1;
+        let quantized = &mut qbuf[..width];
+        crate::dsp::quantize_band(band, scale, qmax, quantized);
+        // Rice parameter adapted to this band's actual content;
+        // tonal bands are mostly zeros and pack near one bit per
+        // coefficient.
+        let mean =
+            quantized.iter().map(|&q| zigzag(q) as f64).sum::<f64>() / quantized.len() as f64;
+        let k = crate::bitstream::rice_param_for_mean(mean).min(12);
+        bw.write_bits(k as u32, 4);
+        for &q in quantized.iter() {
+            bw.write_rice(zigzag(q), k);
+        }
+    }
+}
+
+fn unpack_window(
+    widths: &[usize],
+    br: &mut BitReader<'_>,
+    quality: u8,
+    coeffs: &mut [f32],
+    qbuf: &mut [i32],
+) -> Result<(), OvlError> {
+    coeffs.fill(0.0);
+    let mut start = 0usize;
+    for (b, &width) in widths.iter().enumerate() {
+        let keep = br.read_bit().map_err(|_| OvlError::BadBitstream)?;
+        if !keep {
+            start += width;
+            continue;
+        }
+        let bits = band_bits(quality, b).ok_or(OvlError::BadBitstream)?;
+        let e = br.read_bits(6).map_err(|_| OvlError::BadBitstream)? as i32 - 32;
+        let scale = (e as f32).exp2();
+        let qmax = (1i32 << (bits - 1)) - 1;
+        let k = br.read_bits(4).map_err(|_| OvlError::BadBitstream)? as u8;
+        // Two phases: the Rice reads are serial (each code's length
+        // depends on the bits before it), the rescale is a batch
+        // kernel over the staged integers.
+        let quantized = &mut qbuf[..width];
+        for slot in quantized.iter_mut() {
+            let q = unzigzag(br.read_rice(k).map_err(|_| OvlError::BadBitstream)?);
+            if q.abs() > qmax {
+                return Err(OvlError::BadBitstream);
+            }
+            *slot = q;
+        }
+        crate::dsp::dequantize_band(quantized, scale, qmax, &mut coeffs[start..start + width]);
+        start += width;
+    }
+    Ok(())
+}
+
+// es-hot-path-end
 
 #[cfg(test)]
 mod tests {

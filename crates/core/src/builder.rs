@@ -797,6 +797,7 @@ impl MetricsHub {
         let mut reg = Registry::new();
         reg.set_instance("lan0");
         self.lan.stats().record(&mut reg);
+        self.lan.record_fleet_telemetry(&mut reg);
         for (i, rb) in self.rebroadcasters.iter().enumerate() {
             reg.set_instance(&format!("ch{i}"));
             rb.record_telemetry(&mut reg);

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 
 use es_sim::random::{chance, normal, GilbertElliott};
 use es_sim::{fleet, shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
-use es_telemetry::{Journal, Registry, Severity, Stamp, Telemetry};
+use es_telemetry::{Journal, Registry, Severity, ShardBuffer, ShardDrain, Stamp, Telemetry};
 
 /// Identifies a host attached to the LAN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,8 +281,12 @@ type RecvHandler = Box<dyn FnMut(&mut Sim, Datagram)>;
 /// preparer (see [`Lan::set_preparer`]). Jobs run on the fleet
 /// executor's worker lanes, so they must be `Send` and must not touch
 /// simulator or node state; the result comes back to the node via
-/// [`Lan::take_prepared`] just before its receive handler runs.
-pub type PrepareJob = fleet::Job;
+/// [`Lan::take_prepared`] just before its receive handler runs. The
+/// job receives a [`ShardBuffer`] keyed by its submission index for
+/// lane-local telemetry — record only deterministic quantities
+/// (counts, work units) there, never wall-clock readings, or the
+/// merged registry would vary with `ES_FLEET_THREADS`.
+pub type PrepareJob = Box<dyn FnOnce(&mut ShardBuffer) -> Box<dyn Any + Send> + Send>;
 
 type Preparer = Box<dyn Fn(&Datagram) -> Option<PrepareJob>>;
 
@@ -329,6 +333,11 @@ struct LanInner {
     group_bytes: std::collections::BTreeMap<McastGroup, u64>,
     /// Event journal for loss diagnostics, if attached.
     journal: Option<Journal>,
+    /// Lane telemetry drained from prepare-job shard buffers,
+    /// accumulated across batches. Snapshots rebuild their registry
+    /// from scratch on every walk, so drained shards need a home that
+    /// outlives the batch; this is it.
+    fleet_registry: Registry,
 }
 
 /// The LAN fabric. Cheap to clone (shared handle).
@@ -349,6 +358,7 @@ impl Lan {
                 medium_busy_until: SimTime::ZERO,
                 group_bytes: std::collections::BTreeMap::new(),
                 journal: None,
+                fleet_registry: Registry::new(),
             }),
         }
     }
@@ -399,6 +409,15 @@ impl Lan {
         f: impl Fn(&Datagram) -> Option<PrepareJob> + 'static,
     ) {
         self.inner.borrow_mut().nodes[node.0 as usize].preparer = Some(Box::new(f));
+    }
+
+    /// Replays the lane telemetry drained from prepare-job shard
+    /// buffers (accumulated across every batch so far) into `reg`.
+    /// Snapshot walkers call this alongside the stats recorders; the
+    /// underlying registry persists inside the LAN because snapshots
+    /// rebuild theirs from scratch each walk.
+    pub fn record_fleet_telemetry(&self, reg: &mut Registry) {
+        reg.merge_from(&self.inner.borrow().fleet_registry);
     }
 
     /// Takes the staged result of this delivery's prepare job, if any.
@@ -840,33 +859,94 @@ impl Lan {
                 }
             }
         }
-        // Phase 2: parallel fan-out; results return in job order.
-        let mut results: Vec<Option<Box<dyn Any + Send>>> =
-            fleet::run_batch(jobs).into_iter().map(Some).collect();
-        // Phase 3: serial merge in receiver order.
-        for (i, &r) in rs.iter().enumerate() {
-            let handler = {
-                let mut inner = self.inner.borrow_mut();
-                if let Some(j) = job_of[i] {
-                    inner.nodes[r as usize].prepared = results[j].take();
-                }
-                // Take the handler out so it can borrow the LAN itself.
-                inner.nodes[r as usize].handler.take()
-            };
-            if let Some(mut h) = handler {
-                self.inner.borrow_mut().stats.datagrams_delivered += 1;
-                h(sim, dg.clone());
-                let mut inner = self.inner.borrow_mut();
-                let slot = &mut inner.nodes[r as usize].handler;
-                // A handler installed during delivery wins.
-                if slot.is_none() {
-                    *slot = Some(h);
-                }
-            }
-            // Clear any unconsumed staged result so it cannot leak
-            // into a later, unrelated delivery.
-            self.inner.borrow_mut().nodes[r as usize].prepared = None;
+        // Fused phases 2+3: stream the fan-out. Each prepare job is
+        // wrapped so it also carries a shard buffer of lane telemetry
+        // keyed by its submission index. Results arrive at the sink in
+        // submission order *as they complete*, so early receivers'
+        // handlers — and the telemetry drain — run on the simulation
+        // thread while later jobs still execute on worker lanes. All
+        // observable effects still happen in receiver order on this
+        // thread, so the outcome is bit-identical for any
+        // `ES_FLEET_THREADS` value.
+        struct LanePrepared {
+            shard: ShardBuffer,
+            result: Box<dyn Any + Send>,
         }
+        // Receiver index owning each job (job_of's inverse).
+        let mut rx_of_job: Vec<usize> = vec![0; jobs.len()];
+        for (i, j) in job_of.iter().enumerate() {
+            if let Some(j) = j {
+                rx_of_job[*j] = i;
+            }
+        }
+        let fleet_jobs: Vec<fleet::Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(j, job)| {
+                Box::new(move || {
+                    let mut shard = ShardBuffer::new(j);
+                    let result = job(&mut shard);
+                    Box::new(LanePrepared { shard, result }) as Box<dyn Any + Send>
+                }) as fleet::Job
+            })
+            .collect();
+        let journal = self.inner.borrow().journal.clone();
+        let scratch_journal;
+        let journal_ref = match &journal {
+            Some(j) => j,
+            None => {
+                scratch_journal = Journal::new();
+                &scratch_journal
+            }
+        };
+        // Take the persistent lane registry out of the cell for the
+        // batch so the drain can hold it across handler re-entry into
+        // the LAN.
+        let mut fleet_registry = std::mem::take(&mut self.inner.borrow_mut().fleet_registry);
+        let mut drain = ShardDrain::new(&mut fleet_registry, journal_ref);
+        let mut next_rx = 0usize;
+        fleet::run_batch_each(fleet_jobs, |j, boxed| {
+            let p = boxed
+                .downcast::<LanePrepared>()
+                .expect("lane jobs wrap LanePrepared");
+            drain.offer(p.shard);
+            let r = rs[rx_of_job[j]];
+            self.inner.borrow_mut().nodes[r as usize].prepared = Some(p.result);
+            // Every receiver whose prepare (if any) has now landed can
+            // run; receivers without jobs ride along with their
+            // neighbors.
+            while next_rx < rs.len() && job_of[next_rx].is_none_or(|jj| jj <= j) {
+                self.run_handler(sim, rs[next_rx], &dg);
+                next_rx += 1;
+            }
+        });
+        // Receivers past the last prepare job (or the whole list, when
+        // no preparer produced work).
+        while next_rx < rs.len() {
+            self.run_handler(sim, rs[next_rx], &dg);
+            next_rx += 1;
+        }
+        drain.finish();
+        self.inner.borrow_mut().fleet_registry = fleet_registry;
+    }
+
+    /// Runs one receiver's handler with its staged prepare result (if
+    /// any) and clears the stage afterwards so nothing leaks into a
+    /// later, unrelated delivery.
+    fn run_handler(&self, sim: &mut Sim, r: u32, dg: &Datagram) {
+        // Take the handler out so it can borrow the LAN itself.
+        let handler = self.inner.borrow_mut().nodes[r as usize].handler.take();
+        if let Some(mut h) = handler {
+            self.inner.borrow_mut().stats.datagrams_delivered += 1;
+            h(sim, dg.clone());
+            let mut inner = self.inner.borrow_mut();
+            let slot = &mut inner.nodes[r as usize].handler;
+            // A handler installed during delivery wins.
+            if slot.is_none() {
+                *slot = Some(h);
+            }
+        }
+        self.inner.borrow_mut().nodes[r as usize].prepared = None;
     }
 
     /// Convenience: multicast send.
@@ -1440,8 +1520,9 @@ mod tests {
             lan.join(node, g);
             lan.set_preparer(node, move |dg| {
                 let bytes = dg.payload.to_vec();
-                Some(Box::new(move || {
+                Some(Box::new(move |shard: &mut ShardBuffer| {
                     let sum: u64 = bytes.iter().map(|&b| b as u64).sum();
+                    shard.component("net").counter("test_jobs", 1);
                     Box::new(sum + i) as Box<dyn std::any::Any + Send>
                 }))
             });
@@ -1460,6 +1541,11 @@ mod tests {
         sim.run();
         // Receiver order, each with its own job's result.
         assert_eq!(*sums.borrow(), vec![20, 21, 22, 23, 24, 25]);
+        // The shard buffers' lane telemetry was drained and persists
+        // on the LAN for snapshot walkers.
+        let mut reg = Registry::new();
+        lan.record_fleet_telemetry(&mut reg);
+        assert_eq!(reg.snapshot().counter("net/0/test_jobs"), Some(6));
     }
 
     #[test]
@@ -1469,7 +1555,9 @@ mod tests {
         let a = lan.attach("a");
         let b = lan.attach("b");
         lan.set_preparer(b, |_dg| {
-            Some(Box::new(|| Box::new(7u32) as Box<dyn std::any::Any + Send>))
+            Some(Box::new(|_: &mut ShardBuffer| {
+                Box::new(7u32) as Box<dyn std::any::Any + Send>
+            }))
         });
         // First handler ignores its staged result entirely.
         let hits = Rc::new(RefCell::new(0u32));

@@ -215,30 +215,76 @@ fn ensure_pool(state: &mut PoolState, want: usize) {
 /// Job `i` runs on lane `i % threads()`; lane 0 is the calling thread.
 /// With one lane (or fewer than two jobs) everything runs inline. If
 /// any job panics, the panic is re-raised on the caller after the
-/// batch drains.
+/// batch drains. This is [`run_batch_each`] collecting into a `Vec`.
 pub fn run_batch(jobs: Vec<Job>) -> Vec<Box<dyn Any + Send>> {
+    let mut out = Vec::with_capacity(jobs.len());
+    run_batch_each(jobs, |_, r| out.push(r));
+    out
+}
+
+/// Sinks contiguously completed results, in submission order, and
+/// stashes the first panic payload instead of delivering past it.
+fn flush_ready(
+    next: &mut usize,
+    staged: &mut [Option<ThreadResult>],
+    panic: &mut Option<Box<dyn Any + Send>>,
+    sink: &mut impl FnMut(usize, Box<dyn Any + Send>),
+) {
+    while *next < staged.len() {
+        let Some(r) = staged[*next].take() else { break };
+        match r {
+            Ok(v) => {
+                if panic.is_none() {
+                    sink(*next, v);
+                }
+            }
+            Err(p) => {
+                if panic.is_none() {
+                    *panic = Some(p);
+                }
+            }
+        }
+        *next += 1;
+    }
+}
+
+/// Runs a batch of independent jobs, streaming each result to `sink`
+/// in submission order — without waiting for the whole batch.
+///
+/// `sink(i, result)` is called on the calling thread as soon as job
+/// `i` and every job before it have completed, so the serial
+/// consumption of early results overlaps the lane execution of later
+/// ones (the incremental alternative to `run_batch`'s collect-then-
+/// iterate barrier). Lane assignment, timing capture and panic
+/// semantics match [`run_batch`]: the first panic (by submission
+/// index) is re-raised on the caller after the batch drains, and no
+/// results at or past the panicking index reach the sink.
+///
+/// The sink runs while the pool lock is held; it must not submit
+/// another fleet batch.
+pub fn run_batch_each(jobs: Vec<Job>, mut sink: impl FnMut(usize, Box<dyn Any + Send>)) {
     let n = threads();
     let timing = TIMING_ON.load(Ordering::Relaxed);
     if n <= 1 || jobs.len() < 2 {
         if !timing {
-            return jobs.into_iter().map(|j| j()).collect();
+            for (i, j) in jobs.into_iter().enumerate() {
+                sink(i, j());
+            }
+            return;
         }
         let mut job_ns = Vec::with_capacity(jobs.len());
-        let out: Vec<_> = jobs
-            .into_iter()
-            .map(|j| {
-                #[allow(clippy::disallowed_methods)]
-                // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
-                let start = Instant::now();
-                let r = j();
-                job_ns.push(start.elapsed().as_nanos() as u64);
-                r
-            })
-            .collect();
-        if !out.is_empty() {
+        for (i, j) in jobs.into_iter().enumerate() {
+            #[allow(clippy::disallowed_methods)]
+            // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
+            let start = Instant::now();
+            let r = j();
+            job_ns.push(start.elapsed().as_nanos() as u64);
+            sink(i, r);
+        }
+        if !job_ns.is_empty() {
             accumulate_timing(job_ns);
         }
-        return out;
+        return;
     }
 
     let guard = pool().lock().unwrap_or_else(|e| e.into_inner());
@@ -264,32 +310,39 @@ pub fn run_batch(jobs: Vec<Job>) -> Vec<Box<dyn Any + Send>> {
     drop(res_tx);
 
     let mut job_ns = vec![0u64; total];
-    let mut results: Vec<Option<ThreadResult>> = (0..total).map(|_| None).collect();
-    // Lane 0 is the caller: run its share while the workers chew.
+    let mut staged: Vec<Option<ThreadResult>> = (0..total).map(|_| None).collect();
+    let mut next = 0usize;
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    // Lane 0 is the caller: run its share while the workers chew,
+    // draining finished worker results and the sink between jobs —
+    // job 0 is local, so the sink starts flowing after the very first
+    // job even though most of the batch is still in flight.
     for (i, job) in local {
         #[allow(clippy::disallowed_methods)]
         // es-allow(wall-clock): FleetTiming perf observation; never feeds sim state
         let start = Instant::now();
-        results[i] = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)));
+        staged[i] = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)));
         job_ns[i] = start.elapsed().as_nanos() as u64;
+        while let Ok((j, r, spent)) = res_rx.try_recv() {
+            job_ns[j] = spent;
+            staged[j] = Some(r);
+            remote -= 1;
+        }
+        flush_ready(&mut next, &mut staged, &mut panic, &mut sink);
     }
     for _ in 0..remote {
-        let (i, r, spent) = res_rx.recv().expect("fleet worker died mid-batch");
-        job_ns[i] = spent;
-        results[i] = Some(r);
+        let (j, r, spent) = res_rx.recv().expect("fleet worker died mid-batch");
+        job_ns[j] = spent;
+        staged[j] = Some(r);
+        flush_ready(&mut next, &mut staged, &mut panic, &mut sink);
     }
     drop(state);
     if timing {
         accumulate_timing(job_ns);
     }
-
-    results
-        .into_iter()
-        .map(|r| match r.expect("every job produced a result") {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
-        })
-        .collect()
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +387,67 @@ mod tests {
                 assert_eq!(vals, want, "threads={n}");
             });
         }
+    }
+
+    #[test]
+    fn streamed_results_arrive_in_submission_order_on_caller() {
+        for n in [1usize, 2, 4] {
+            with_threads(n, || {
+                let caller = std::thread::current().id();
+                let jobs: Vec<Job> = (0..32u64)
+                    .map(|i| {
+                        Box::new(move || {
+                            if i.is_multiple_of(3) {
+                                std::thread::yield_now();
+                            }
+                            Box::new(i + 100) as Box<dyn Any + Send>
+                        }) as Job
+                    })
+                    .collect();
+                let mut seen: Vec<(usize, u64)> = Vec::new();
+                run_batch_each(jobs, |i, r| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    seen.push((i, *r.downcast::<u64>().unwrap()));
+                });
+                let want: Vec<(usize, u64)> = (0..32).map(|i| (i as usize, i + 100)).collect();
+                assert_eq!(seen, want, "threads={n}");
+            });
+        }
+    }
+
+    #[test]
+    fn streaming_sink_overlaps_lane_execution() {
+        // Job 0 runs on the caller lane; job 1 on a worker that
+        // refuses to finish until the sink has consumed job 0's
+        // result. If the sink only ran after the whole batch (the old
+        // barrier), the worker would time out and the assertion fail.
+        with_threads(2, || {
+            let sank_zero: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+            let observed: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+            let jobs: Vec<Job> = vec![
+                Box::new(|| Box::new(0u64) as Box<dyn Any + Send>) as Job,
+                Box::new(move || {
+                    #[allow(clippy::disallowed_methods)]
+                    // es-allow(wall-clock): test-only bounded spin; never feeds sim state
+                    let start = Instant::now();
+                    while sank_zero.load(Ordering::SeqCst) == 0 && start.elapsed().as_secs() < 5 {
+                        std::thread::yield_now();
+                    }
+                    observed.store(sank_zero.load(Ordering::SeqCst), Ordering::SeqCst);
+                    Box::new(1u64) as Box<dyn Any + Send>
+                }) as Job,
+            ];
+            run_batch_each(jobs, |i, _| {
+                if i == 0 {
+                    sank_zero.store(1, Ordering::SeqCst);
+                }
+            });
+            assert_eq!(
+                observed.load(Ordering::SeqCst),
+                1,
+                "sink(0) must run while job 1 is still executing"
+            );
+        });
     }
 
     #[test]

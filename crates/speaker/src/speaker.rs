@@ -190,6 +190,7 @@ struct PreparedRx {
     decoded: Option<PreDecoded>,
 }
 
+// es-hot-path
 /// Per-worker-lane codec engines — the "per-speaker scratch
 /// workspaces" of the fleet design. `OvlCodec` keeps its MDCT scratch
 /// in a `RefCell`, so engines cannot be shared across lanes; each lane
@@ -203,6 +204,7 @@ fn lane_decode(
 ) -> Result<(Vec<i16>, u64), es_codec::CodecError> {
     thread_local! {
         static LANE_CODECS: std::cell::RefCell<Vec<(es_codec::CostModel, Codecs)>> =
+            // es-allow(hot-path-alloc): one-time thread-local init, not per-packet
             const { std::cell::RefCell::new(Vec::new()) };
     }
     LANE_CODECS.with(|cell| {
@@ -214,9 +216,70 @@ fn lane_decode(
             .iter()
             .find(|(m, _)| *m == model)
             .expect("just inserted");
-        c.decode(codec, bytes, channels)
+        let mut out = take_sample_buf();
+        match c.decode_into(codec, bytes, channels, &mut out) {
+            Ok(work) => Ok((out, work)),
+            Err(e) => {
+                recycle_sample_buf(out);
+                Err(e)
+            }
+        }
     })
 }
+
+/// How many spent buffers each per-thread free list retains. Steady
+/// state needs one or two (decode output in flight plus the block the
+/// device is draining); the headroom covers serial-queue bursts.
+const BUF_POOL_CAP: usize = 16;
+
+thread_local! {
+    /// Free list of decoded-sample buffers. Packets flow decode →
+    /// schedule → device write; recycling the spent `Vec` at the write
+    /// end closes the loop, so after warm-up the per-packet decode
+    /// path performs no heap allocation at all. Per-thread because
+    /// fleet lanes decode concurrently; a buffer drained on the
+    /// consumer thread simply joins that thread's list (the lists need
+    /// not balance — each is capped at [`BUF_POOL_CAP`]).
+    static SAMPLE_BUFS: std::cell::RefCell<Vec<Vec<i16>>> =
+        // es-allow(hot-path-alloc): one-time thread-local init, not per-packet
+        const { std::cell::RefCell::new(Vec::new()) };
+    /// Free list of encoded-byte buffers for the device-write side.
+    static BYTE_BUFS: std::cell::RefCell<Vec<Vec<u8>>> =
+        // es-allow(hot-path-alloc): one-time thread-local init, not per-packet
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+fn take_sample_buf() -> Vec<i16> {
+    SAMPLE_BUFS
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn recycle_sample_buf(mut v: Vec<i16>) {
+    v.clear();
+    SAMPLE_BUFS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(v);
+        }
+    });
+}
+
+fn take_byte_buf() -> Vec<u8> {
+    BYTE_BUFS.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+fn recycle_byte_buf(mut v: Vec<u8>) {
+    v.clear();
+    BYTE_BUFS.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(v);
+        }
+    });
+}
+
+// es-hot-path-end
 
 struct Pending {
     payload: bytes::Bytes,
@@ -564,7 +627,7 @@ impl EthernetSpeaker {
     /// when stream authentication is active — the verifier must see
     /// packets in order before anything may be parsed as trusted.
     fn prepare(&self, dg: &Datagram) -> Option<es_net::PrepareJob> {
-        let (codec, channels, playing, model) = {
+        let (codec, channels, playing, model, name) = {
             let st = self.state.borrow();
             if st.verifier.is_some() {
                 return None;
@@ -574,16 +637,26 @@ impl EthernetSpeaker {
                 st.stream_cfg.channels,
                 matches!(st.phase, Phase::Playing),
                 st.cfg.cost_model,
+                st.cfg.name.clone(),
             )
         };
         let payload = dg.payload.clone();
         let token = payload.as_ptr() as usize;
-        Some(Box::new(move || {
+        Some(Box::new(move |shard: &mut es_telemetry::ShardBuffer| {
             let parsed = es_proto::decode(&payload);
             let decoded = match &parsed {
                 Ok(Packet::Data(d)) if playing => {
                     let wire = CodecId::from_wire(d.codec).unwrap_or(codec);
                     let result = lane_decode(model, wire, &d.payload, channels);
+                    // Deterministic lane telemetry only — counts and
+                    // work units, never wall-clock — so the drained
+                    // registry is identical at any lane count.
+                    shard.set_instance(&name);
+                    let mut scope = shard.component("speaker");
+                    scope.counter("lane_decodes", 1);
+                    if let Ok((_, work)) = &result {
+                        scope.counter("lane_decode_work", *work);
+                    }
                     Some((codec, channels, result))
                 }
                 _ => None,
@@ -854,6 +927,7 @@ impl EthernetSpeaker {
         }
     }
 
+    // es-hot-path
     /// Decodes a pending packet, billing the CPU model; returns the
     /// samples and the (possibly future) completion time. A parallel
     /// pre-decode is consumed only while its `(codec, channels)`
@@ -875,9 +949,24 @@ impl EthernetSpeaker {
             {
                 result
             }
-            _ => {
+            stale => {
+                if let Some((_, _, Ok((buf, _)))) = stale {
+                    // A reconfiguration invalidated the lane's work;
+                    // at least reclaim its buffer.
+                    recycle_sample_buf(buf);
+                }
                 let wire_codec = CodecId::from_wire(p.codec_wire).unwrap_or(codec);
-                self.codecs.decode(wire_codec, &p.payload, channels)
+                let mut out = take_sample_buf();
+                match self
+                    .codecs
+                    .decode_into(wire_codec, &p.payload, channels, &mut out)
+                {
+                    Ok(work) => Ok((out, work)),
+                    Err(e) => {
+                        recycle_sample_buf(out);
+                        Err(e)
+                    }
+                }
             }
         };
         let (samples, work) = match decoded {
@@ -909,7 +998,10 @@ impl EthernetSpeaker {
         {
             let mut st = self.state.borrow_mut();
             if st.cfg.conceal_loss {
-                st.last_block = samples.clone();
+                // Reuse the standing concealment buffer instead of
+                // cloning into a fresh allocation per packet.
+                st.last_block.clear();
+                st.last_block.extend_from_slice(&samples);
             }
         }
         let deadline = p.deadline;
@@ -938,6 +1030,7 @@ impl EthernetSpeaker {
                 }
                 PlayDecision::PlayNow => spk.serial_write(sim, samples),
                 PlayDecision::Discard { .. } => {
+                    recycle_sample_buf(samples);
                     spk.note_late_drop(sim, deadline);
                     spk.finish_serial(sim);
                 }
@@ -955,7 +1048,9 @@ impl EthernetSpeaker {
             }
         }
         let cfg = self.state.borrow().stream_cfg;
-        let bytes = es_audio::convert::encode_samples(&samples, cfg.encoding);
+        let mut bytes = take_byte_buf();
+        es_audio::convert::encode_samples_into(&samples, cfg.encoding, &mut bytes);
+        recycle_sample_buf(samples);
         self.serial_write_bytes(sim, bytes, 0, cfg);
     }
 
@@ -974,6 +1069,7 @@ impl EthernetSpeaker {
                 spk.serial_write_bytes(sim, bytes, next, cfg);
             });
         } else {
+            recycle_byte_buf(bytes);
             self.finish_serial(sim);
         }
     }
@@ -1012,6 +1108,7 @@ impl EthernetSpeaker {
             }
             PlayDecision::PlayNow => self.write_out(sim, samples),
             PlayDecision::Discard { .. } => {
+                recycle_sample_buf(samples);
                 self.note_late_drop(sim, deadline);
             }
         }
@@ -1108,14 +1205,21 @@ impl EthernetSpeaker {
             }
         }
         let cfg = self.state.borrow().stream_cfg;
-        let bytes = es_audio::convert::encode_samples(&samples, cfg.encoding);
+        let mut bytes = take_byte_buf();
+        es_audio::convert::encode_samples_into(&samples, cfg.encoding, &mut bytes);
+        recycle_sample_buf(samples);
         let written = self.dev.write(sim, &bytes).unwrap_or(0);
-        let mut st = self.state.borrow_mut();
-        st.stats.samples_played += (written / cfg.encoding.bytes_per_sample() as usize) as u64;
-        if written < bytes.len() {
-            st.stats.dropped_overflow_bytes += (bytes.len() - written) as u64;
+        {
+            let mut st = self.state.borrow_mut();
+            st.stats.samples_played += (written / cfg.encoding.bytes_per_sample() as usize) as u64;
+            if written < bytes.len() {
+                st.stats.dropped_overflow_bytes += (bytes.len() - written) as u64;
+            }
         }
+        recycle_byte_buf(bytes);
     }
+
+    // es-hot-path-end
 
     /// One auto-volume control period: sample the simulated microphone
     /// and update the gain.

@@ -17,7 +17,7 @@
 //! stand-in for "most recent".
 
 use crate::journal::{Event, Journal, Severity, Stamp};
-use crate::metrics::{MetricValue, Registry, Scope};
+use crate::metrics::{Registry, Scope};
 
 /// One worker lane's private telemetry: a registry plus buffered
 /// journal events. `Send` (no shared interior state), so it can ride
@@ -92,40 +92,106 @@ impl ShardBuffer {
     }
 }
 
-/// Folds shard buffers into a shared registry and journal.
+/// Incrementally folds shard buffers into a shared registry and
+/// journal as they complete, without waiting for the whole batch.
 ///
-/// Buffers are sorted by shard index first, so the caller may pass
-/// them in completion order (or any order): the result is identical.
-/// Within a shard, events keep their recording order; across shards,
-/// lower indices come first. The journal assigns its own contiguous
-/// sequence numbers as events are replayed.
-pub fn merge_shards(mut shards: Vec<ShardBuffer>, registry: &mut Registry, journal: &Journal) {
-    shards.sort_by_key(|s| s.shard);
-    for shard in shards {
-        for metric in shard.registry.snapshot().iter() {
-            registry.set_instance(&metric.key.instance);
-            let mut scope = registry.component(&metric.key.component);
-            match &metric.value {
-                MetricValue::Counter(c) => {
-                    scope.counter(&metric.key.name, *c);
-                }
-                MetricValue::Gauge(g) => {
-                    scope.gauge(&metric.key.name, *g);
-                }
-                MetricValue::Histogram(h) => {
-                    scope.histogram(&metric.key.name, h);
-                }
+/// The deterministic contract is the same as [`merge_shards`]: the
+/// merged output is a function of shard *indices*, never completion
+/// order. The drain achieves it without a barrier — a buffer offered
+/// in index order merges immediately (overlapping the lanes still
+/// executing); one that arrives early is parked until the indices
+/// before it have landed. [`finish`](Self::finish) flushes whatever is
+/// still parked (index gaps are allowed) and returns the total merged.
+pub struct ShardDrain<'a> {
+    /// The next in-order shard index; buffers below it merged already.
+    next: usize,
+    /// Early arrivals, keyed by shard index, in arrival order within
+    /// one index.
+    parked: std::collections::BTreeMap<usize, Vec<ShardBuffer>>,
+    registry: &'a mut Registry,
+    journal: &'a Journal,
+    merged: usize,
+}
+
+impl<'a> ShardDrain<'a> {
+    /// A drain folding into `registry` and replaying events to
+    /// `journal`.
+    pub fn new(registry: &'a mut Registry, journal: &'a Journal) -> Self {
+        ShardDrain {
+            next: 0,
+            parked: std::collections::BTreeMap::new(),
+            registry,
+            journal,
+            merged: 0,
+        }
+    }
+
+    /// Offers one completed shard. Merges now if every lower index has
+    /// already merged (or this index is a duplicate of one that has);
+    /// parks it otherwise.
+    pub fn offer(&mut self, shard: ShardBuffer) {
+        let idx = shard.shard;
+        if idx > self.next {
+            self.parked.entry(idx).or_default().push(shard);
+            return;
+        }
+        self.merge_one(shard);
+        self.next = self.next.max(idx + 1);
+        // The new frontier may release parked successors.
+        while let Some(bufs) = self.parked.remove(&self.next) {
+            for b in bufs {
+                self.merge_one(b);
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Number of shards merged so far.
+    pub fn merged(&self) -> usize {
+        self.merged
+    }
+
+    /// Flushes any still-parked buffers (submission indices with gaps
+    /// never unblock on their own) in index order and returns the
+    /// total number of shards merged.
+    pub fn finish(mut self) -> usize {
+        let parked = std::mem::take(&mut self.parked);
+        for (_, bufs) in parked {
+            for b in bufs {
+                self.merge_one(b);
             }
         }
+        self.merged
+    }
+
+    fn merge_one(&mut self, shard: ShardBuffer) {
+        self.registry.merge_from(&shard.registry);
         for ev in shard.events {
             let fields: Vec<(&str, String)> = ev
                 .fields
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
                 .collect();
-            journal.emit(ev.stamp, ev.severity, &ev.component, &ev.message, &fields);
+            self.journal
+                .emit(ev.stamp, ev.severity, &ev.component, &ev.message, &fields);
         }
+        self.merged += 1;
     }
+}
+
+/// Folds shard buffers into a shared registry and journal.
+///
+/// The caller may pass buffers in completion order (or any order): the
+/// result is identical — this is [`ShardDrain`] fed all at once.
+/// Within a shard, events keep their recording order; across shards,
+/// lower indices come first. The journal assigns its own contiguous
+/// sequence numbers as events are replayed.
+pub fn merge_shards(shards: Vec<ShardBuffer>, registry: &mut Registry, journal: &Journal) {
+    let mut drain = ShardDrain::new(registry, journal);
+    for shard in shards {
+        drain.offer(shard);
+    }
+    drain.finish();
 }
 
 #[cfg(test)]
@@ -234,5 +300,66 @@ mod tests {
     fn shard_buffer_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ShardBuffer>();
+    }
+
+    #[test]
+    fn drain_matches_batch_merge_for_any_completion_order() {
+        // Feed the drain in a scrambled completion order and compare
+        // against the one-shot merge of the same buffers in index
+        // order: registry and journal must be byte-identical.
+        let order = [3usize, 0, 4, 1, 2];
+        let drain_journal = Journal::new();
+        let mut drain_reg = Registry::new();
+        let drain = {
+            let mut d = ShardDrain::new(&mut drain_reg, &drain_journal);
+            for &i in &order {
+                d.offer(buffer(i, 10 + i as u64));
+            }
+            d.finish()
+        };
+        assert_eq!(drain, 5);
+
+        let batch_journal = Journal::new();
+        let mut batch_reg = Registry::new();
+        merge_shards(
+            (0..5).map(|i| buffer(i, 10 + i as u64)).collect(),
+            &mut batch_reg,
+            &batch_journal,
+        );
+        assert_eq!(
+            drain_reg.snapshot().to_json_lines(),
+            batch_reg.snapshot().to_json_lines()
+        );
+        assert_eq!(drain_journal.to_json_lines(), batch_journal.to_json_lines());
+    }
+
+    #[test]
+    fn drain_merges_in_order_arrivals_eagerly() {
+        let journal = Journal::new();
+        let mut reg = Registry::new();
+        let mut d = ShardDrain::new(&mut reg, &journal);
+        d.offer(buffer(0, 1));
+        assert_eq!(d.merged(), 1, "in-order shard merges without waiting");
+        d.offer(buffer(2, 1));
+        assert_eq!(d.merged(), 1, "early shard parks until 1 lands");
+        d.offer(buffer(1, 1));
+        assert_eq!(d.merged(), 3, "frontier release drains the park");
+        assert_eq!(d.finish(), 3);
+    }
+
+    #[test]
+    fn drain_finish_flushes_index_gaps() {
+        let journal = Journal::new();
+        let mut reg = Registry::new();
+        let mut d = ShardDrain::new(&mut reg, &journal);
+        d.offer(buffer(5, 7));
+        d.offer(buffer(3, 7));
+        assert_eq!(d.merged(), 0);
+        assert_eq!(d.finish(), 2);
+        // Gap flush still runs in index order: events 3 then 5.
+        let events = journal.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].fields.get("shard").map(String::as_str), Some("3"));
+        assert_eq!(events[1].fields.get("shard").map(String::as_str), Some("5"));
     }
 }

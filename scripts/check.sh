@@ -47,6 +47,27 @@ ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench perf_hotpath
 echo "== fleet smoke (ES_BENCH_QUICK=1)"
 ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench fleet
 
+# Vectorized-DSP smoke: the dsp bench runs the dsp_kernels group plus
+# the pipeline/fleet gates and rewrites BENCH_PR6.json. Unlike the two
+# smokes above, this one is a hard regression gate for the end-to-end
+# decode path: the committed baseline is snapshotted first (the bench
+# overwrites BENCH_PR6.json in place) and a >20% drop in any
+# `pipeline` metric fails the run (see EXPERIMENTS.md, "dsp").
+echo "== dsp smoke (ES_BENCH_QUICK=1, pipeline regression is fatal)"
+if [ -f BENCH_PR6.json ]; then
+    cp BENCH_PR6.json results/BENCH_PR6.baseline.json
+    # Absolute path: cargo runs bench binaries from the package dir,
+    # not the workspace root.
+    ES_BENCH_QUICK=1 ES_BENCH_BASELINE="$(pwd)/results/BENCH_PR6.baseline.json" \
+        cargo bench -q -p es-bench --bench dsp
+else
+    ES_BENCH_QUICK=1 cargo bench -q -p es-bench --bench dsp
+fi
+
+# Archive this run's bench reports; the repo-root copies are the
+# committed baselines and get refreshed deliberately, not per run.
+cp BENCH_PR3.json BENCH_PR4.json BENCH_PR6.json results/
+
 # Chaos determinism gate: the conformance suite already runs every
 # scenario twice in-process; here the whole suite runs twice in
 # separate processes with a pinned seed, and the telemetry fingerprints

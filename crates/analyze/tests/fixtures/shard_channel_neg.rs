@@ -1,0 +1,8 @@
+//! Negative fixture: cross-segment events go through the sanctioned
+//! deterministic channel facade, `ShardRouter::post`.
+
+use es_sim::{ShardRouter, Sim, SimTime};
+
+pub fn deliver_to_segment(router: &ShardRouter, sim: &mut Sim, at: SimTime) {
+    router.post(sim, 1, at, |_| {});
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: calling the engine's raw cross-shard primitive
+//! from outside `crates/sim/`. Expect a `shard-channel` finding — the
+//! call bypasses the ShardRouter's cross-segment accounting.
+
+use es_sim::{Sim, SimTime};
+
+pub fn deliver_to_segment(sim: &mut Sim, at: SimTime) {
+    sim.schedule_at_segment(1, at, |_| {});
+}

@@ -14,11 +14,13 @@
 //! Baseline handling is stricter than the older benches: a >20%
 //! regression in the `pipeline` group fails the process — the
 //! end-to-end decode path is the number this PR series optimizes, and
-//! a silent 20% giveback there is a bug, not a warning. The exception
-//! is `pipeline.wall_seconds`, where *lower* is better and the shared
-//! higher-is-better comparison would flag an improvement. Other
-//! groups (micro-kernels, fleet sweeps) stay warnings: they are
-//! noisier and their set grows across PRs.
+//! a silent 20% giveback there is a bug, not a warning. The fleet
+//! sweep's `fleet_*.t*_x_realtime_aggregate` rates are gated too but
+//! stay warnings (labeled `FLEET`): the sweep is noisier on a loaded
+//! host and its group set grows across PRs. Lower-is-better
+//! `wall_seconds` keys are skipped inside `baseline_warnings` itself,
+//! so no per-key carve-out is needed here. Micro-kernel groups stay
+//! plain warnings.
 
 use es_bench::{fleet_exp, perf};
 
@@ -80,9 +82,15 @@ fn main() {
                 Ok(warnings) => {
                     let mut fatal = false;
                     for w in &warnings {
-                        let hard = w.starts_with("regression: pipeline.")
-                            && !w.contains("pipeline.wall_seconds");
-                        eprintln!("dsp: {}{w}", if hard { "FATAL " } else { "" });
+                        let hard = w.starts_with("regression: pipeline.");
+                        let tag = if hard {
+                            "FATAL "
+                        } else if w.starts_with("regression: fleet_") {
+                            "FLEET "
+                        } else {
+                            ""
+                        };
+                        eprintln!("dsp: {tag}{w}");
                         fatal |= hard;
                     }
                     if fatal {

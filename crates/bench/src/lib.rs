@@ -24,4 +24,5 @@ pub mod loss_exp;
 pub mod perf;
 pub mod rate_exp;
 pub mod report;
+pub mod seg_exp;
 pub mod sync_exp;

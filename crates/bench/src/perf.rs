@@ -113,11 +113,20 @@ pub fn flatten_metrics(doc: &str) -> Result<Vec<(String, f64)>, String> {
 /// Compares a current report against a baseline document, returning a
 /// warning line per metric that regressed by more than 20%. Metrics
 /// missing on either side are ignored (the set may grow across PRs).
+/// Keys ending in `wall_seconds` are skipped: they are
+/// lower-is-better, so the shared higher-is-better comparison would
+/// flag an *improvement* — and every group already pairs them with a
+/// rate of the right polarity (`x_realtime`, `x_realtime_aggregate`)
+/// that carries the same signal, so the fleet sweep's aggregates are
+/// gated alongside the pipeline numbers.
 pub fn baseline_warnings(current: &str, baseline: &str) -> Result<Vec<String>, String> {
     let base: std::collections::BTreeMap<String, f64> =
         flatten_metrics(baseline)?.into_iter().collect();
     let mut warnings = Vec::new();
     for (key, now) in flatten_metrics(current)? {
+        if key.ends_with("wall_seconds") {
+            continue;
+        }
         if let Some(&was) = base.get(&key) {
             if was > 0.0 && now < was * 0.8 {
                 warnings.push(format!(
@@ -396,6 +405,29 @@ mod tests {
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("g.a"));
         assert!(baseline_warnings(new, "not json").is_err());
+    }
+
+    #[test]
+    fn baseline_comparison_covers_fleet_rates_and_skips_wall_clock() {
+        // A fleet aggregate that regressed must warn; a wall-seconds
+        // metric that *improved* (dropped) must not be mistaken for a
+        // regression, and one that degraded stays a non-signal too —
+        // the paired x_realtime rate is its gate.
+        let old = concat!(
+            r#"{"bench":"fleet","quick":true,"#,
+            r#""fleet_0064":{"t4_x_realtime_aggregate":100,"t4_wall_seconds":10,"#,
+            r#""t4_projected_wall_seconds":8},"#,
+            r#""pipeline":{"x_realtime":50,"wall_seconds":4}}"#
+        );
+        let new = concat!(
+            r#"{"bench":"fleet","quick":true,"#,
+            r#""fleet_0064":{"t4_x_realtime_aggregate":70,"t4_wall_seconds":2,"#,
+            r#""t4_projected_wall_seconds":30},"#,
+            r#""pipeline":{"x_realtime":49,"wall_seconds":1}}"#
+        );
+        let warnings = baseline_warnings(new, old).expect("both parse");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("fleet_0064.t4_x_realtime_aggregate"));
     }
 
     #[test]

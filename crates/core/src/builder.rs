@@ -16,6 +16,7 @@ use es_proto::auth::StreamSigner;
 use es_proto::{Capabilities, SessionClientConfig, StreamInfo};
 use es_rebroadcast::{
     AppPacing, AudioApp, CompressionPolicy, RateLimiter, Rebroadcaster, RebroadcasterConfig,
+    RelayConfig, SegmentRelay,
 };
 use es_sim::{Shared, Sim, SimCpu, SimDuration, SimTime};
 use es_speaker::{AmbientProfile, AutoVolumeConfig, EthernetSpeaker, SpeakerConfig};
@@ -100,6 +101,10 @@ pub struct ChannelSpec {
     /// How transform work is billed to the CPU model (paper-fidelity
     /// direct cost vs. the default FFT fast path).
     pub cost_model: CostModel,
+    /// Logical engine segment of the producer host (see
+    /// `es_sim::shard`). The producer host is shared, so the last
+    /// channel that sets a non-zero segment wins.
+    pub segment: u32,
 }
 
 impl ChannelSpec {
@@ -123,6 +128,7 @@ impl ChannelSpec {
             playout_delay: SimDuration::from_millis(200),
             fec_group: None,
             cost_model: CostModel::default(),
+            segment: 0,
         }
     }
 
@@ -209,6 +215,14 @@ impl ChannelSpec {
         self.cost_model = cost_model;
         self
     }
+
+    /// Pins the producer host to a logical engine segment. Segments
+    /// partition the sharded event engine; they are topology labels
+    /// and never change what the fleet plays.
+    pub fn segment(mut self, segment: u32) -> Self {
+        self.segment = segment;
+        self
+    }
 }
 
 /// One speaker: where it listens and when it powers on.
@@ -227,6 +241,10 @@ pub struct SpeakerSpec {
     pub channel: Option<String>,
     /// Capabilities advertised during the handshake (negotiated mode).
     pub caps: Capabilities,
+    /// Logical engine segment this speaker's deliveries execute in
+    /// (see `es_sim::shard`); speakers behind a relay share the
+    /// relay's segment.
+    pub segment: u32,
 }
 
 impl SpeakerSpec {
@@ -237,6 +255,7 @@ impl SpeakerSpec {
             start_at: SimDuration::ZERO,
             channel: None,
             caps: Capabilities::any(),
+            segment: 0,
         }
     }
 
@@ -259,6 +278,14 @@ impl SpeakerSpec {
     /// Sets the capabilities advertised in the handshake.
     pub fn caps(mut self, caps: Capabilities) -> Self {
         self.caps = caps;
+        self
+    }
+
+    /// Pins this speaker to a logical engine segment (a speaker behind
+    /// a [`RelaySpec`] should use the relay's segment and the relay's
+    /// downstream group).
+    pub fn segment(mut self, segment: u32) -> Self {
+        self.segment = segment;
         self
     }
 
@@ -386,6 +413,51 @@ impl SpeakerSpec {
     }
 }
 
+/// One segment relay: subscribes to an upstream group, re-times and
+/// re-stamps the stream against its own segment clock, and
+/// re-multicasts on a downstream group for its segment's fleet (the
+/// §4.4 "internet radio" hierarchy node; see
+/// [`es_rebroadcast::SegmentRelay`]).
+pub struct RelaySpec {
+    /// Group the relay subscribes to (a channel's group, or another
+    /// relay's downstream).
+    pub upstream: McastGroup,
+    /// Group the relay re-multicasts on; its fleet's speakers tune
+    /// here.
+    pub downstream: McastGroup,
+    /// Logical engine segment of the relay and its fleet.
+    pub segment: u32,
+    /// Hold window: packets forward this long after arrival, timeline
+    /// fields shifted to match.
+    pub hold: SimDuration,
+}
+
+impl RelaySpec {
+    /// A relay forwarding `upstream` onto `downstream` with the
+    /// default 2 ms hold, in segment 0.
+    pub fn new(upstream: McastGroup, downstream: McastGroup) -> Self {
+        let d = RelayConfig::new(upstream, downstream);
+        RelaySpec {
+            upstream,
+            downstream,
+            segment: d.segment,
+            hold: d.hold,
+        }
+    }
+
+    /// Sets the relay's (and its fleet's) logical engine segment.
+    pub fn segment(mut self, segment: u32) -> Self {
+        self.segment = segment;
+        self
+    }
+
+    /// Sets the hold window.
+    pub fn hold(mut self, hold: SimDuration) -> Self {
+        self.hold = hold;
+        self
+    }
+}
+
 /// Control-plane configuration: the announce group sessions are
 /// negotiated on, plus the handshake's timers. Defaults match
 /// [`SessionClientConfig::new`].
@@ -454,9 +526,11 @@ pub struct SystemBuilder {
     lan: LanConfig,
     channels: Vec<ChannelSpec>,
     speakers: Vec<SpeakerSpec>,
+    relays: Vec<RelaySpec>,
     announce_group: Option<McastGroup>,
     sessions: Option<SessionSpec>,
     healing: Option<HealSpec>,
+    sim_shards: Option<usize>,
 }
 
 impl SystemBuilder {
@@ -467,9 +541,11 @@ impl SystemBuilder {
             lan: LanConfig::default(),
             channels: Vec::new(),
             speakers: Vec::new(),
+            relays: Vec::new(),
             announce_group: None,
             sessions: None,
             healing: None,
+            sim_shards: None,
         }
     }
 
@@ -488,6 +564,24 @@ impl SystemBuilder {
     /// Adds a speaker.
     pub fn speaker(mut self, spec: SpeakerSpec) -> Self {
         self.speakers.push(spec);
+        self
+    }
+
+    /// Adds a segment relay, making a producer → relays → per-segment
+    /// fleet topology declarable in one spec. Relays cannot re-sign
+    /// authenticated streams, so combining them with a channel signer
+    /// is rejected by [`Self::try_build`].
+    pub fn relay(mut self, spec: RelaySpec) -> Self {
+        self.relays.push(spec);
+        self
+    }
+
+    /// Pins the event engine to `n` queue shards for this system
+    /// (instead of the process `ES_SIM_SHARDS` / default). Sharding is
+    /// pure partitioning: every fingerprint and metric is identical at
+    /// any shard count.
+    pub fn sim_shards(mut self, n: usize) -> Self {
+        self.sim_shards = Some(n);
         self
     }
 
@@ -545,6 +639,22 @@ impl SystemBuilder {
                 )));
             }
         }
+        if !self.relays.is_empty() {
+            if let Some(ch) = self.channels.iter().find(|c| c.signer.is_some()) {
+                return Err(Error::Config(format!(
+                    "channel '{}' is signed but relays cannot re-sign a re-stamped stream",
+                    ch.name
+                )));
+            }
+            for r in &self.relays {
+                if r.upstream == r.downstream {
+                    return Err(Error::Config(format!(
+                        "relay on group {} would loop: upstream == downstream",
+                        r.upstream.0
+                    )));
+                }
+            }
+        }
         for spec in &self.speakers {
             if let Some(channel) = &spec.channel {
                 if self.sessions.is_none() {
@@ -562,11 +672,22 @@ impl SystemBuilder {
             }
         }
 
-        let mut sim = Sim::new(self.seed);
+        let mut sim = match self.sim_shards {
+            Some(n) => Sim::with_shards(self.seed, n),
+            None => Sim::new(self.seed),
+        };
         let journal = Journal::new();
         let lan = Lan::new(self.lan);
         lan.set_journal(journal.clone());
         let producer_node = lan.attach("producer-host");
+        if let Some(seg) = self
+            .channels
+            .iter()
+            .rev()
+            .find_map(|c| (c.segment != 0).then_some(c.segment))
+        {
+            lan.set_segment(producer_node, seg);
+        }
 
         let mut rebroadcasters = Vec::new();
         let mut standbys = Vec::new();
@@ -635,6 +756,25 @@ impl SystemBuilder {
             rebroadcasters.push(rb);
         }
 
+        // Standby shares the producer's segment: promotion swaps the
+        // sender without moving the stream across shards.
+        if let Some(node) = standby_node {
+            lan.set_segment(node, lan.segment(producer_node));
+        }
+
+        let relays: Vec<SegmentRelay> = self
+            .relays
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rcfg = RelayConfig::new(spec.upstream, spec.downstream);
+                rcfg.name = format!("relay{i}");
+                rcfg.segment = spec.segment;
+                rcfg.hold = spec.hold;
+                SegmentRelay::start(&mut sim, &lan, rcfg)
+            })
+            .collect();
+
         let announcer = self.announce_group.map(|group| {
             lan.join(producer_node, group);
             CatalogAnnouncer::start(
@@ -665,6 +805,7 @@ impl SystemBuilder {
 
         let mut speakers = Vec::new();
         for spec in self.speakers {
+            let segment = spec.segment;
             if let Some(channel) = spec.channel {
                 let ses = self.sessions.as_ref().expect("validated above");
                 let mut ccfg = SessionClientConfig::new(spec.config.name.clone(), channel);
@@ -683,6 +824,7 @@ impl SystemBuilder {
                         ccfg,
                         Some(journal.clone()),
                     );
+                    lan.set_segment(ns.speaker().node(), segment);
                     speakers.push(SpeakerHandle::Negotiated(ns));
                 } else {
                     let slot: Shared<Option<NegotiatedSpeaker>> = es_sim::shared(None);
@@ -693,12 +835,14 @@ impl SystemBuilder {
                     sim.schedule_in(spec.start_at, move |sim| {
                         let ns =
                             NegotiatedSpeaker::start(sim, &lan2, cfg, announce, ccfg, Some(j2));
+                        lan2.set_segment(ns.speaker().node(), segment);
                         *slot2.borrow_mut() = Some(ns);
                     });
                     speakers.push(SpeakerHandle::DeferredNegotiated(slot));
                 }
             } else if spec.start_at.is_zero() {
                 let spk = EthernetSpeaker::start(&mut sim, &lan, spec.config);
+                lan.set_segment(spk.node(), segment);
                 spk.set_journal(journal.clone());
                 speakers.push(SpeakerHandle::Ready(spk));
             } else {
@@ -709,6 +853,7 @@ impl SystemBuilder {
                 let j2 = journal.clone();
                 sim.schedule_in(spec.start_at, move |sim| {
                     let spk = EthernetSpeaker::start(sim, &lan2, cfg);
+                    lan2.set_segment(spk.node(), segment);
                     spk.set_journal(j2.clone());
                     *slot2.borrow_mut() = Some(spk);
                 });
@@ -720,6 +865,7 @@ impl SystemBuilder {
             lan,
             rebroadcasters,
             standbys,
+            relays,
             apps,
             speakers: Rc::new(speakers),
             announcer,
@@ -760,6 +906,7 @@ pub(crate) struct MetricsHub {
     pub(crate) lan: Lan,
     pub(crate) rebroadcasters: Vec<Rebroadcaster>,
     pub(crate) standbys: Vec<Rebroadcaster>,
+    pub(crate) relays: Vec<SegmentRelay>,
     pub(crate) apps: Vec<Shared<Option<AudioApp>>>,
     pub(crate) speakers: Rc<Vec<SpeakerHandle>>,
     pub(crate) announcer: Option<CatalogAnnouncer>,
@@ -810,6 +957,10 @@ impl MetricsHub {
             reg.set_instance(&format!("standby{i}"));
             rb.record_telemetry(&mut reg);
         }
+        for (i, relay) in self.relays.iter().enumerate() {
+            reg.set_instance(&format!("relay{i}"));
+            relay.stats().record(&mut reg);
+        }
         for i in 0..self.speakers.len() {
             let Some(spk) = self.speaker(i) else { continue };
             reg.set_instance(&spk.name());
@@ -855,6 +1006,14 @@ impl EsSystem {
         self.sim.run_until(t);
     }
 
+    /// The underlying event engine. Bench harnesses use this to turn
+    /// on the per-segment busy-time accounting
+    /// ([`Sim::enable_shard_timing`]) and to read shard diagnostics;
+    /// scenario code should not need it.
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
     /// The LAN fabric.
     pub fn lan(&self) -> &Lan {
         &self.hub.lan
@@ -869,6 +1028,16 @@ impl EsSystem {
     /// [`HealSpec::standby`] is on.
     pub fn standby(&self, i: usize) -> Option<&Rebroadcaster> {
         self.hub.standbys.get(i)
+    }
+
+    /// Segment relay `i`, in declaration order.
+    pub fn relay(&self, i: usize) -> Option<&SegmentRelay> {
+        self.hub.relays.get(i)
+    }
+
+    /// Number of declared segment relays.
+    pub fn relay_count(&self) -> usize {
+        self.hub.relays.len()
     }
 
     /// The healing monitor, if [`SystemBuilder::healing`] was set.
@@ -1088,6 +1257,49 @@ mod tests {
             Some(0),
             "a standby must stay silent"
         );
+    }
+
+    #[test]
+    fn relayed_fleet_plays_through_segment_relay() {
+        // producer (segment 0) → relay (segment 1) → two speakers on
+        // the relay's downstream group, in the relay's segment.
+        let mut sys = SystemBuilder::new(11)
+            .sim_shards(2)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio"))
+            .relay(RelaySpec::new(McastGroup(1), McastGroup(101)).segment(1))
+            .speaker(SpeakerSpec::new("r1a", McastGroup(101)).segment(1))
+            .speaker(SpeakerSpec::new("r1b", McastGroup(101)).segment(1))
+            .build();
+        assert_eq!(sys.sim.num_shards(), 2);
+        sys.run_for(SimDuration::from_secs(5));
+        assert_eq!(sys.relay_count(), 1);
+        let rstats = sys.relay(0).unwrap().stats();
+        assert!(rstats.data_relayed > 30, "{rstats:?}");
+        assert!(rstats.control_relayed >= 8, "{rstats:?}");
+        for i in 0..2 {
+            let st = sys.speaker(i).unwrap().stats();
+            assert!(st.samples_played > 100_000, "speaker {i}: {st:?}");
+            assert_eq!(st.bad_packets, 0, "speaker {i}: {st:?}");
+        }
+        // The upstream hand-off crossed the shard boundary.
+        assert!(sys.lan().cross_segment_posts() > 0);
+        let snap = sys.metrics();
+        assert_eq!(
+            snap.counter("relay/relay0/data_relayed"),
+            Some(rstats.data_relayed)
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_signed_channel_with_relay() {
+        let signer = Rc::new(StreamSigner::new(b"relay-test", 64, 4));
+        let e = SystemBuilder::new(1)
+            .channel(ChannelSpec::new(1, McastGroup(1), "radio").signer(signer))
+            .relay(RelaySpec::new(McastGroup(1), McastGroup(101)))
+            .try_build()
+            .err()
+            .expect("signed channel + relay must be rejected");
+        assert!(e.to_string().contains("re-sign"), "{e}");
     }
 
     #[test]

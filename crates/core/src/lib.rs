@@ -31,7 +31,9 @@ pub mod live;
 pub mod override_ctl;
 pub mod session_ctl;
 
-pub use builder::{ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder};
+pub use builder::{
+    ChannelSpec, EsSystem, RelaySpec, SessionSpec, Source, SpeakerSpec, SystemBuilder,
+};
 pub use catalog::{CatalogAnnouncer, ChannelBrowser};
 pub use error::Error;
 pub use heal_ctl::{HealMonitor, HealSpec};
@@ -54,7 +56,7 @@ pub use session_ctl::{BrokerStats, NegotiatedSpeaker, SessionBroker};
 /// ```
 pub mod prelude {
     pub use crate::builder::{
-        ChannelSpec, EsSystem, SessionSpec, Source, SpeakerSpec, SystemBuilder,
+        ChannelSpec, EsSystem, RelaySpec, SessionSpec, Source, SpeakerSpec, SystemBuilder,
     };
     pub use crate::catalog::{CatalogAnnouncer, ChannelBrowser};
     pub use crate::error::Error;

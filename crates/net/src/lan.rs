@@ -22,7 +22,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use es_sim::random::{chance, normal, GilbertElliott};
-use es_sim::{fleet, shared, BucketAccumulator, Shared, Sim, SimDuration, SimTime, TimeSeries};
+use es_sim::{
+    fleet, shared, BucketAccumulator, ShardRouter, Shared, Sim, SimDuration, SimTime, TimeSeries,
+};
 use es_telemetry::{Journal, Registry, Severity, ShardBuffer, ShardDrain, Stamp, Telemetry};
 
 /// Identifies a host attached to the LAN.
@@ -313,6 +315,12 @@ struct Node {
     /// flaky NIC or radio link); 0.0 = healthy. One draw per datagram
     /// from the node's private stream, on top of the LAN-wide model.
     degrade_loss: f64,
+    /// Logical engine segment this host's deliveries execute in (see
+    /// `es_sim::shard`). A topology label, fixed per scenario: it must
+    /// not depend on `ES_SIM_SHARDS`, or event sequence numbers — and
+    /// with them the telemetry fingerprints — would shift with the
+    /// shard count.
+    segment: u32,
 }
 
 /// Derives a node's private RNG stream from the sim seed. SplitMix64's
@@ -338,6 +346,9 @@ struct LanInner {
     /// from scratch on every walk, so drained shards need a home that
     /// outlives the batch; this is it.
     fleet_registry: Registry,
+    /// Deterministic cross-shard channel: every delivery is posted
+    /// into the receiver's segment through here.
+    router: ShardRouter,
 }
 
 /// The LAN fabric. Cheap to clone (shared handle).
@@ -359,6 +370,7 @@ impl Lan {
                 group_bytes: std::collections::BTreeMap::new(),
                 journal: None,
                 fleet_registry: Registry::new(),
+                router: ShardRouter::new(),
             }),
         }
     }
@@ -384,8 +396,28 @@ impl Lan {
             burst_chain: GilbertElliott::new(),
             partitioned_until: None,
             degrade_loss: 0.0,
+            segment: 0,
         });
         NodeId(inner.nodes.len() as u32 - 1)
+    }
+
+    /// Assigns `node` to a logical engine segment; its deliveries are
+    /// scheduled into that segment from now on. Segments are topology
+    /// (e.g. "the fleet behind relay 2"), set once at build time: they
+    /// must not be derived from the shard count.
+    pub fn set_segment(&self, node: NodeId, segment: u32) {
+        self.inner.borrow_mut().nodes[node.0 as usize].segment = segment;
+    }
+
+    /// The logical engine segment `node` is assigned to (0 = default).
+    pub fn segment(&self, node: NodeId) -> u32 {
+        self.inner.borrow().nodes[node.0 as usize].segment
+    }
+
+    /// Posts scheduled through the LAN's cross-shard channel that
+    /// crossed a segment boundary (engine diagnostics).
+    pub fn cross_segment_posts(&self) -> u64 {
+        self.inner.borrow().router.cross_posts()
     }
 
     /// The host's display name.
@@ -804,32 +836,46 @@ impl Lan {
             }
         }
 
-        // Group deliveries that share an arrival instant into one
-        // batch event: the common case — a zero-jitter multicast to a
-        // whole fleet — becomes a single event whose per-receiver pure
-        // work can fan out across the fleet executor. Distinct arrival
-        // times (jitter, reordering, duplicates) each get their own
+        // Group deliveries that share an arrival instant *and* a
+        // receiver segment into one batch event: the common case — a
+        // zero-jitter multicast to a whole fleet on one segment —
+        // becomes a single event whose per-receiver pure work can fan
+        // out across the fleet executor. Distinct arrival times
+        // (jitter, reordering, duplicates) each get their own
         // singleton batch, preserving the old per-delivery schedule
-        // exactly.
-        let mut batches: Vec<(SimTime, Vec<u32>)> = Vec::new();
-        let mut index: std::collections::BTreeMap<SimTime, usize> =
+        // exactly. The segment key is part of the split because a
+        // batch executes in its receivers' segment: segments are fixed
+        // topology labels, so the same events — with the same sequence
+        // numbers — are created at every shard count.
+        let mut batches: Vec<(SimTime, u32, Vec<u32>)> = Vec::new();
+        let mut index: std::collections::BTreeMap<(SimTime, u32), usize> =
             std::collections::BTreeMap::new();
-        for (r, offset) in receivers {
+        let (router, segments): (ShardRouter, Vec<u32>) = {
+            let inner = self.inner.borrow();
+            (
+                inner.router.clone(),
+                receivers
+                    .iter()
+                    .map(|&(r, _)| inner.nodes[r as usize].segment)
+                    .collect(),
+            )
+        };
+        for (&(r, offset), &seg) in receivers.iter().zip(&segments) {
             let at = deliver_at_base + offset;
-            let i = *index.entry(at).or_insert_with(|| {
-                batches.push((at, Vec::new()));
+            let i = *index.entry((at, seg)).or_insert_with(|| {
+                batches.push((at, seg, Vec::new()));
                 batches.len() - 1
             });
-            batches[i].1.push(r);
+            batches[i].2.push(r);
         }
-        for (at, rs) in batches {
+        for (at, seg, rs) in batches {
             let lan = lan.clone();
             let dg = Datagram {
                 src: from,
                 dst,
                 payload: payload.clone(),
             };
-            sim.schedule_at(at, move |sim| lan.deliver_batch(sim, &rs, dg));
+            router.post(sim, seg, at, move |sim| lan.deliver_batch(sim, &rs, dg));
         }
     }
 

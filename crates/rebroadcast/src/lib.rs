@@ -19,8 +19,10 @@ pub mod app;
 pub mod policy;
 pub mod producer;
 pub mod rate;
+pub mod relay;
 
 pub use app::{AppPacing, AppStats, AudioApp};
 pub use policy::CompressionPolicy;
 pub use producer::{ProducerStats, Rebroadcaster, RebroadcasterConfig};
 pub use rate::RateLimiter;
+pub use relay::{RelayConfig, RelayStats, SegmentRelay};

@@ -26,9 +26,11 @@ pub mod fleet;
 pub mod random;
 pub mod sched;
 pub mod series;
+pub mod shard;
 pub mod time;
 
 pub use cpu::{CostModel, SimCpu};
 pub use engine::{shared, EventId, RepeatingTimer, Shared, Sim};
 pub use series::{BucketAccumulator, TimeSeries};
+pub use shard::{ShardRouter, ShardTiming};
 pub use time::{SimDuration, SimTime};

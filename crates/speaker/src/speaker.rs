@@ -139,6 +139,16 @@ pub struct SpeakerStats {
     pub playback_resyncs: u64,
     /// Times a control-plane FLUSH re-gated playback (session mode).
     pub session_resyncs: u64,
+    /// NACK retransmissions that landed in a hole this speaker
+    /// reported missing (healing-plane refills).
+    pub refills_received: u64,
+    /// Refills that arrived past their original play deadline. Kept
+    /// apart from `dropped_late`: the underlying loss was already
+    /// counted when the gap was detected, so a late refill is a
+    /// repair that missed its window, not a second failure — folding
+    /// it into `deadline_misses` made each loss burst cost the heal
+    /// detector an extra sick epoch (the "refill echo").
+    pub refill_late: u64,
 }
 
 impl Telemetry for SpeakerStats {
@@ -159,7 +169,9 @@ impl Telemetry for SpeakerStats {
             .counter("fec_recovered", self.fec_recovered)
             .counter("dropped_duplicate", self.dropped_duplicate)
             .counter("playback_resyncs", self.playback_resyncs)
-            .counter("session_resyncs", self.session_resyncs);
+            .counter("session_resyncs", self.session_resyncs)
+            .counter("refills_received", self.refills_received)
+            .counter("refill_late", self.refill_late);
     }
 }
 
@@ -287,6 +299,9 @@ struct Pending {
     deadline: es_sim::SimTime,
     /// Result of the parallel pre-decode, when one ran for this packet.
     pre: Option<PreDecoded>,
+    /// This packet is a healing-plane refill of a reported gap; a late
+    /// arrival counts as `refill_late`, not a fresh deadline miss.
+    refill: bool,
 }
 
 struct SpkState {
@@ -299,6 +314,12 @@ struct SpkState {
     /// naturally filled — the healing plane drains these into NACK
     /// retransmit requests. Bounded; oldest ranges fall off the front.
     missing_ranges: Vec<(u32, u16)>,
+    /// Ranges already handed to the healing plane via
+    /// [`EthernetSpeaker::take_missing_ranges`]; a data packet landing
+    /// inside one is a NACK refill, and its lateness is accounted as
+    /// `refill_late` rather than a fresh deadline miss. Bounded like
+    /// `missing_ranges`; cleared on tune and resync.
+    refill_expected: Vec<(u32, u16)>,
     /// Recently accepted sequence numbers (bounded window) — the
     /// duplicate-suppression filter.
     seen_seqs: std::collections::BTreeSet<u32>,
@@ -366,6 +387,30 @@ impl SpkState {
         }
         self.missing_ranges = out;
     }
+
+    /// Checks whether `seq` falls inside a range the healing plane is
+    /// refilling, consuming that sequence from the expectation ledger
+    /// so a LAN duplicate of the refill is not classified twice.
+    fn consume_refill(&mut self, seq: u32) -> bool {
+        let mut hit = false;
+        let mut out: Vec<(u32, u16)> = Vec::with_capacity(self.refill_expected.len());
+        for &(first, count) in &self.refill_expected {
+            let end = first + count as u32; // exclusive
+            if hit || seq < first || seq >= end {
+                out.push((first, count));
+                continue;
+            }
+            hit = true;
+            if seq > first {
+                out.push((first, (seq - first) as u16));
+            }
+            if seq + 1 < end {
+                out.push((seq + 1, (end - seq - 1) as u16));
+            }
+        }
+        self.refill_expected = out;
+        hit
+    }
 }
 
 /// Callback receiving control-plane packets (see
@@ -408,6 +453,7 @@ impl EthernetSpeaker {
             serial_queue: std::collections::VecDeque::new(),
             last_seq: None,
             missing_ranges: Vec::new(),
+            refill_expected: Vec::new(),
             seen_seqs: std::collections::BTreeSet::new(),
             fec: None,
             monitor: es_proto::StreamMonitor::new(),
@@ -464,6 +510,7 @@ impl EthernetSpeaker {
             st.dev_configured = false;
             st.last_seq = None;
             st.missing_ranges.clear();
+            st.refill_expected.clear();
             st.seen_seqs.clear();
             st.fec = None;
             if let Some(j) = st.journal.clone() {
@@ -516,7 +563,16 @@ impl EthernetSpeaker {
     /// The healing plane turns these into NACK retransmit requests;
     /// taking them resets the ledger so a range is reported once.
     pub fn take_missing_ranges(&self) -> Vec<(u32, u16)> {
-        std::mem::take(&mut self.state.borrow_mut().missing_ranges)
+        let mut st = self.state.borrow_mut();
+        let ranges = std::mem::take(&mut st.missing_ranges);
+        // The caller will NACK these; remember them so the refills,
+        // when they land, are billed as repairs rather than fresh
+        // deadline misses (the "refill echo").
+        st.refill_expected.extend_from_slice(&ranges);
+        while st.refill_expected.len() > MAX_MISSING_RANGES {
+            st.refill_expected.remove(0);
+        }
+        ranges
     }
 
     /// The DAC output tap (what actually played, with timestamps).
@@ -568,6 +624,7 @@ impl EthernetSpeaker {
         st.clock = ClockSync::new();
         st.last_seq = None;
         st.missing_ranges.clear();
+        st.refill_expected.clear();
         st.seen_seqs.clear();
         st.stats.session_resyncs += 1;
         if let Some(j) = st.journal.clone() {
@@ -851,8 +908,14 @@ impl EthernetSpeaker {
         // on the wire. Conceal up to three of them by replaying the
         // previous block, faded, at the deadlines the missing packets
         // would have had.
-        let conceal = {
+        let (conceal, refill) = {
             let mut st = self.state.borrow_mut();
+            // A sequence number inside a range we handed to the healing
+            // plane is its NACK retransmission coming back.
+            let refill = st.consume_refill(d.seq);
+            if refill {
+                st.stats.refills_received += 1;
+            }
             let gap = match st.last_seq {
                 Some(last) if d.seq > last + 1 => {
                     let raw = d.seq - last - 1;
@@ -868,11 +931,12 @@ impl EthernetSpeaker {
                 // retransmission) fills a hole we may have NACKed.
                 st.clear_missing(d.seq);
             }
-            if gap > 0 && st.cfg.conceal_loss && !st.last_block.is_empty() {
+            let conceal = if gap > 0 && st.cfg.conceal_loss && !st.last_block.is_empty() {
                 Some((gap, st.last_block.clone()))
             } else {
                 None
-            }
+            };
+            (conceal, refill)
         };
         if let Some((gap, block)) = conceal {
             let dur_ns = {
@@ -890,7 +954,7 @@ impl EthernetSpeaker {
                 let fade = 0.6f64.powi(k as i32);
                 es_audio::mix::apply_gain(&mut faded, fade);
                 self.state.borrow_mut().stats.concealed_packets += 1;
-                self.schedule_play(sim, faded, gap_deadline);
+                self.schedule_play(sim, faded, gap_deadline, false);
             }
         }
         let pending = Pending {
@@ -898,6 +962,7 @@ impl EthernetSpeaker {
             codec_wire: d.codec,
             deadline,
             pre,
+            refill,
         };
         let serial_depth = self.state.borrow().cfg.serial_queue_depth;
         match serial_depth {
@@ -1005,9 +1070,10 @@ impl EthernetSpeaker {
             }
         }
         let deadline = p.deadline;
+        let refill = p.refill;
         let spk = self.clone();
         sim.schedule_at(decoded_at, move |sim| {
-            spk.schedule_play(sim, samples, deadline);
+            spk.schedule_play(sim, samples, deadline, refill);
         });
     }
 
@@ -1019,6 +1085,7 @@ impl EthernetSpeaker {
             return;
         };
         let deadline = p.deadline;
+        let refill = p.refill;
         let spk = self.clone();
         sim.schedule_at(decoded_at, move |sim| {
             let epsilon = spk.state.borrow().cfg.epsilon;
@@ -1031,7 +1098,7 @@ impl EthernetSpeaker {
                 PlayDecision::PlayNow => spk.serial_write(sim, samples),
                 PlayDecision::Discard { .. } => {
                     recycle_sample_buf(samples);
-                    spk.note_late_drop(sim, deadline);
+                    spk.note_late_drop(sim, deadline, refill);
                     spk.finish_serial(sim);
                 }
             }
@@ -1093,7 +1160,7 @@ impl EthernetSpeaker {
     }
 
     /// Applies §3.2's sleep/play/discard rule to a decoded block.
-    fn schedule_play(&self, sim: &mut Sim, samples: Vec<i16>, deadline: SimTime) {
+    fn schedule_play(&self, sim: &mut Sim, samples: Vec<i16>, deadline: SimTime, refill: bool) {
         if self.state.borrow().cfg.asap_playback {
             // The early-ES pipeline: straight to the device.
             self.write_out(sim, samples);
@@ -1109,7 +1176,7 @@ impl EthernetSpeaker {
             PlayDecision::PlayNow => self.write_out(sim, samples),
             PlayDecision::Discard { .. } => {
                 recycle_sample_buf(samples);
-                self.note_late_drop(sim, deadline);
+                self.note_late_drop(sim, deadline, refill);
             }
         }
     }
@@ -1174,17 +1241,29 @@ impl EthernetSpeaker {
             .observe(slack.as_micros());
     }
 
-    /// Counts a §3.2 deadline miss and journals it.
-    fn note_late_drop(&self, sim: &mut Sim, deadline: SimTime) {
+    /// Counts a §3.2 deadline miss and journals it. A late NACK refill
+    /// is billed to `refill_late` instead: the gap it repaired was
+    /// already counted as lost when detected, and classifying the
+    /// repair itself as a miss made every loss burst cost the healing
+    /// detector a second sick epoch (the "refill echo").
+    fn note_late_drop(&self, sim: &mut Sim, deadline: SimTime, refill: bool) {
         let mut st = self.state.borrow_mut();
-        st.stats.dropped_late += 1;
+        if refill {
+            st.stats.refill_late += 1;
+        } else {
+            st.stats.dropped_late += 1;
+        }
         if let Some(j) = st.journal.clone() {
             let late = sim.now().saturating_since(deadline);
             j.emit(
                 Stamp::virtual_ns(sim.now().as_nanos()),
                 Severity::Debug,
                 "speaker",
-                "data packet discarded past deadline",
+                if refill {
+                    "nack refill arrived past deadline"
+                } else {
+                    "data packet discarded past deadline"
+                },
                 &[
                     ("speaker", st.cfg.name.clone()),
                     ("late_us", late.as_micros().to_string()),
@@ -1577,6 +1656,42 @@ mod tests {
             "flush must forget pre-resync gaps"
         );
         sim.run_for(SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn late_refill_is_billed_as_repair_not_deadline_miss() {
+        let (mut sim, lan, producer) = lan();
+        let g = McastGroup(1);
+        let spk = EthernetSpeaker::start(&mut sim, &lan, SpeakerConfig::new("es1", g));
+        lan.multicast(&mut sim, producer, g, control_packet(0, 0));
+        sim.run();
+        let base = sim.now().as_micros() + 200_000;
+        // Sequences 0 then 3: a two-packet hole [1, 2].
+        lan.multicast(&mut sim, producer, g, data_packet(0, base, 100));
+        sim.run();
+        lan.multicast(&mut sim, producer, g, data_packet(3, base + 30_000, 100));
+        sim.run();
+        // The healing plane drains the ledger into a NACK…
+        assert_eq!(spk.take_missing_ranges(), vec![(1, 2)]);
+        // …and the retransmission lands long after the original
+        // deadlines (base + 10/20 ms, epsilon 20 ms).
+        sim.run_until(SimTime::from_millis(800));
+        lan.multicast(&mut sim, producer, g, data_packet(1, base + 10_000, 100));
+        lan.multicast(&mut sim, producer, g, data_packet(2, base + 20_000, 100));
+        sim.run_for(SimDuration::from_millis(100));
+        let st = spk.stats();
+        assert_eq!(st.refills_received, 2, "{st:?}");
+        assert_eq!(st.refill_late, 2, "{st:?}");
+        assert_eq!(
+            st.dropped_late, 0,
+            "a late refill must not echo as a fresh deadline miss: {st:?}"
+        );
+        // A late packet that is NOT a refill still counts as a miss.
+        lan.multicast(&mut sim, producer, g, data_packet(4, base + 40_000, 100));
+        sim.run_for(SimDuration::from_millis(100));
+        let st = spk.stats();
+        assert_eq!(st.dropped_late, 1, "{st:?}");
+        assert_eq!(st.refill_late, 2, "{st:?}");
     }
 
     #[test]

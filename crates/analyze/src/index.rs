@@ -1,0 +1,439 @@
+//! Phase-1 back end: the workspace symbol index and approximate call
+//! graph.
+//!
+//! Resolution is deliberately *approximate* — exact name resolution
+//! needs a type checker, and the analyzer stays zero-dependency. The
+//! rules (documented in DESIGN.md §8):
+//!
+//! - **Qualified calls** (`es_codec::dsp::quantize_band(…)`) resolve
+//!   through the leading crate segment: `es_x` maps to workspace crate
+//!   `x`, the compat shims (`rand`, `bytes`, `proptest`) map to
+//!   `compat-x`, and `crate`/`self`/`super` stay in the current crate.
+//!   A capitalized final qualifier is treated as a type, matching
+//!   associated fns by owner (`ShardBuffer::new` → `fn new` in
+//!   `impl ShardBuffer`).
+//! - **Unqualified calls** (`helper(…)`) resolve by name within the
+//!   current crate, after consulting the file's `use` declarations for
+//!   a cross-crate import of that name.
+//! - **Method calls** (`.decode_into(…)`) resolve by name + arity with
+//!   conservative fan-out: *every* method in the workspace with that
+//!   name and arity is a potential callee.
+//!
+//! Over-approximations (may add edges that cannot happen at runtime):
+//! method fan-out ignores receiver types; same-name free fns in one
+//! crate all match. Under-approximations (edges we cannot see): calls
+//! through `std`/external types, function pointers and closures passed
+//! as values, trait-object dispatch where no same-name inherent method
+//! exists, and macro-generated calls. The passes are tuned so the
+//! over-approximations cost pragmas, never correctness.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::parser::{Call, FileSummary, FnDef};
+use crate::walker::Role;
+
+/// One file's phase-1 facts plus its workspace attribution.
+#[derive(Debug, Clone)]
+pub struct FileEntry {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Owning crate (`net`, `compat-rand`, `root`).
+    pub krate: String,
+    /// Target role — only [`Role::Lib`] files contribute resolution
+    /// targets.
+    pub role: Role,
+    /// The parsed item tree.
+    pub summary: FileSummary,
+}
+
+/// Identifies one function in the index: `fns[id]` → `(file, fn)`.
+pub type FnId = usize;
+
+/// The workspace symbol index and call graph.
+pub struct Index<'a> {
+    /// The indexed files, in walker order.
+    pub files: &'a [FileEntry],
+    /// Flat fn table: `(file index, fn index within file)`.
+    pub fns: Vec<(usize, usize)>,
+    /// (crate, fn name) → candidate fn ids (free and associated).
+    by_name: BTreeMap<(String, String), Vec<FnId>>,
+    /// (owner type, fn name) → candidate fn ids, workspace-wide.
+    by_owner: BTreeMap<(String, String), Vec<FnId>>,
+    /// (method name, arity) → candidate fn ids with an owner.
+    methods: BTreeMap<(String, u32), Vec<FnId>>,
+}
+
+impl<'a> Index<'a> {
+    /// Builds the index. Fns in non-lib files (tests, benches,
+    /// examples) and fns inside `#[cfg(test)]` regions are excluded
+    /// from the target tables — they unwrap and allocate freely and
+    /// are unreachable from production code.
+    pub fn build(files: &'a [FileEntry]) -> Self {
+        let mut ix = Index {
+            files,
+            fns: Vec::new(),
+            by_name: BTreeMap::new(),
+            by_owner: BTreeMap::new(),
+            methods: BTreeMap::new(),
+        };
+        for (fi, entry) in files.iter().enumerate() {
+            for (di, def) in entry.summary.fns.iter().enumerate() {
+                let id = ix.fns.len();
+                ix.fns.push((fi, di));
+                if entry.role != Role::Lib
+                    || in_regions(&entry.summary.test_regions, def.start_line)
+                {
+                    continue;
+                }
+                ix.by_name
+                    .entry((entry.krate.clone(), def.name.clone()))
+                    .or_default()
+                    .push(id);
+                if let Some(owner) = &def.owner {
+                    ix.by_owner
+                        .entry((owner.clone(), def.name.clone()))
+                        .or_default()
+                        .push(id);
+                    // Only receiver-taking fns can be `.name(…)`
+                    // targets; associated fns are path-called.
+                    if def.has_self {
+                        ix.methods
+                            .entry((def.name.clone(), def.arity))
+                            .or_default()
+                            .push(id);
+                    }
+                }
+            }
+        }
+        ix
+    }
+
+    /// The file entry and fn definition behind an id.
+    pub fn def(&self, id: FnId) -> (&FileEntry, &FnDef) {
+        let (fi, di) = self.fns[id];
+        (&self.files[fi], &self.files[fi].summary.fns[di])
+    }
+
+    /// Resolves one call site in `file_ix` to candidate callees.
+    pub fn resolve(&self, file_ix: usize, call: &Call) -> Vec<FnId> {
+        if call.method {
+            let mut out = self
+                .methods
+                .get(&(call.name.clone(), call.arity))
+                .cloned()
+                .unwrap_or_default();
+            out.sort_unstable();
+            return out;
+        }
+        let entry = &self.files[file_ix];
+        let mut path = call.path.clone();
+        // Expand a leading `use` alias: `dsp::quantize(…)` after
+        // `use es_codec::dsp;` becomes `es_codec::dsp::quantize(…)`,
+        // `Reg::new(…)` after `use x::Registry as Reg;` becomes
+        // `x::Registry::new(…)`. A bare imported name expands too.
+        let first = path.first().cloned().unwrap_or_else(|| call.name.clone());
+        if !matches!(first.as_str(), "crate" | "self" | "super") {
+            if let Some(u) = entry.summary.uses.iter().find(|u| u.alias == first) {
+                let mut expanded = u.path.clone();
+                expanded.extend(path.iter().skip(1).cloned());
+                path = expanded;
+            }
+        }
+        let krate = path
+            .first()
+            .and_then(|seg| crate_of_segment(seg, &entry.krate));
+        let target_crate = krate.clone().unwrap_or_else(|| entry.krate.clone());
+        // A capitalized final qualifier names a type: match associated
+        // fns by owner (workspace-wide when the crate is ambiguous,
+        // filtered when it is not).
+        if let Some(owner) = path
+            .last()
+            .filter(|s| s.chars().next().is_some_and(char::is_uppercase))
+        {
+            let mut out: Vec<FnId> = self
+                .by_owner
+                .get(&(owner.clone(), call.name.clone()))
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| krate.is_none() || self.def(id).0.krate == target_crate)
+                        .collect()
+                })
+                .unwrap_or_default();
+            // An owner match that filtered to nothing falls back to
+            // the unfiltered set — the type may be re-exported.
+            if out.is_empty() {
+                out = self
+                    .by_owner
+                    .get(&(owner.clone(), call.name.clone()))
+                    .cloned()
+                    .unwrap_or_default();
+            }
+            out.sort_unstable();
+            return out;
+        }
+        let mut out = self
+            .by_name
+            .get(&(target_crate, call.name.clone()))
+            .cloned()
+            .unwrap_or_default();
+        // Prefer arity-exact candidates; keep all when none match
+        // (our argument count can be off around macros and closures —
+        // conservative means keeping the edge).
+        let exact: Vec<FnId> = out
+            .iter()
+            .copied()
+            .filter(|&id| self.def(id).1.arity == call.arity)
+            .collect();
+        if !exact.is_empty() {
+            out = exact;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Direct callees of a function.
+    pub fn callees(&self, id: FnId) -> Vec<FnId> {
+        let (fi, di) = self.fns[id];
+        let mut out = Vec::new();
+        for call in &self.files[fi].summary.fns[di].calls {
+            out.extend(self.resolve(fi, call));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Breadth-first reachability from a set of root fns. Returns the
+    /// reached set and, for chain reconstruction, each reached fn's
+    /// BFS parent (roots map to `None`). BFS order makes every
+    /// recovered chain a shortest chain.
+    pub fn reach(&self, roots: &[FnId]) -> Reach {
+        let mut parent: BTreeMap<FnId, Option<FnId>> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(None);
+                queue.push_back(r);
+            }
+        }
+        let mut order = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for callee in self.callees(id) {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(callee) {
+                    e.insert(Some(id));
+                    queue.push_back(callee);
+                }
+            }
+        }
+        Reach { order, parent }
+    }
+}
+
+/// Result of a reachability sweep.
+pub struct Reach {
+    /// Reached fn ids in BFS order (roots first).
+    pub order: Vec<FnId>,
+    /// BFS parent of each reached fn (`None` for roots).
+    pub parent: BTreeMap<FnId, Option<FnId>>,
+}
+
+impl Reach {
+    /// The shortest root→`id` chain as fn ids, root first.
+    pub fn chain(&self, id: FnId) -> Vec<FnId> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        let mut guard = 0;
+        while let Some(Some(p)) = self.parent.get(&cur) {
+            chain.push(*p);
+            cur = *p;
+            guard += 1;
+            if guard > 64 {
+                break;
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// True when `id` was reached.
+    pub fn contains(&self, id: FnId) -> bool {
+        self.parent.contains_key(&id)
+    }
+}
+
+/// True when `line` falls inside any of the (inclusive) regions.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Maps a leading path segment to a workspace crate name, or `None`
+/// when the segment is a module/std path that stays unresolved at the
+/// crate level.
+fn crate_of_segment(seg: &str, current: &str) -> Option<String> {
+    match seg {
+        "crate" | "self" | "super" => Some(current.to_string()),
+        "rand" | "bytes" | "proptest" => Some(format!("compat-{seg}")),
+        _ => seg.strip_prefix("es_").map(|rest| rest.replace('_', "-")),
+    }
+}
+
+/// Renders a call chain as `a → b → c` using fn names (owner-qualified
+/// for methods), for finding messages.
+pub fn chain_names(ix: &Index<'_>, chain: &[FnId]) -> String {
+    chain
+        .iter()
+        .map(|&id| {
+            let (_, def) = ix.def(id);
+            match &def.owner {
+                Some(o) => format!("{}::{}", o, def.name),
+                None => def.name.clone(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+    use crate::parser;
+
+    fn entry(rel: &str, krate: &str, src: &str) -> FileEntry {
+        let lexed = lexer::lex(src);
+        FileEntry {
+            rel: rel.to_string(),
+            krate: krate.to_string(),
+            role: Role::Lib,
+            summary: parser::parse(&lexed.tokens, &lexed.comments),
+        }
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_crate() {
+        let files = vec![entry(
+            "crates/net/src/a.rs",
+            "net",
+            "fn top() { helper(1); }\nfn helper(x: u8) {}\n",
+        )];
+        let ix = Index::build(&files);
+        let top = ix.fns.iter().position(|&(_, d)| d == 0).unwrap();
+        let callees = ix.callees(top);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ix.def(callees[0]).1.name, "helper");
+    }
+
+    #[test]
+    fn qualified_calls_cross_crates_via_es_prefix() {
+        let files = vec![
+            entry(
+                "crates/net/src/a.rs",
+                "net",
+                "fn top() { es_codec::dsp::decode(1, 2); }\n",
+            ),
+            entry(
+                "crates/codec/src/dsp.rs",
+                "codec",
+                "pub fn decode(a: u8, b: u8) {}\n",
+            ),
+        ];
+        let ix = Index::build(&files);
+        let callees = ix.callees(0);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ix.def(callees[0]).0.krate, "codec");
+    }
+
+    #[test]
+    fn use_imports_resolve_bare_cross_crate_names() {
+        let files = vec![
+            entry(
+                "crates/net/src/a.rs",
+                "net",
+                "use es_codec::decode;\nfn top() { decode(1, 2); }\n",
+            ),
+            entry(
+                "crates/codec/src/lib.rs",
+                "codec",
+                "pub fn decode(a: u8, b: u8) {}\n",
+            ),
+        ];
+        let ix = Index::build(&files);
+        let callees = ix.callees(0);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ix.def(callees[0]).0.krate, "codec");
+    }
+
+    #[test]
+    fn assoc_fns_match_by_owner_type() {
+        let files = vec![
+            entry(
+                "crates/net/src/a.rs",
+                "net",
+                "fn top() { let s = ShardBuffer::new(0); }\n",
+            ),
+            entry(
+                "crates/telemetry/src/shard.rs",
+                "telemetry",
+                "pub struct ShardBuffer;\nimpl ShardBuffer {\npub fn new(i: usize) -> Self { ShardBuffer }\n}\n",
+            ),
+        ];
+        let ix = Index::build(&files);
+        let callees = ix.callees(0);
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ix.def(callees[0]).1.owner.as_deref(), Some("ShardBuffer"));
+    }
+
+    #[test]
+    fn method_calls_fan_out_by_name_and_arity() {
+        let files = vec![
+            entry(
+                "crates/net/src/a.rs",
+                "net",
+                "fn top(d: D) { d.step(1); }\n",
+            ),
+            entry(
+                "crates/codec/src/b.rs",
+                "codec",
+                "impl A { fn step(&mut self, x: u8) {} }\nimpl B { fn step(&mut self) {} }\n",
+            ),
+        ];
+        let ix = Index::build(&files);
+        let callees = ix.callees(0);
+        // Arity 1 matches A::step only, not B::step (arity 0).
+        assert_eq!(callees.len(), 1);
+        assert_eq!(ix.def(callees[0]).1.owner.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn test_mod_fns_are_not_targets() {
+        let files = vec![entry(
+            "crates/net/src/a.rs",
+            "net",
+            "fn top() { helper(); }\n\
+             #[cfg(test)]\nmod tests {\nfn helper() { x.unwrap(); }\n}\n",
+        )];
+        let ix = Index::build(&files);
+        assert!(ix.callees(0).is_empty());
+    }
+
+    #[test]
+    fn reach_recovers_shortest_chains() {
+        let files = vec![entry(
+            "crates/net/src/a.rs",
+            "net",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\n",
+        )];
+        let ix = Index::build(&files);
+        let reach = ix.reach(&[0]);
+        assert_eq!(reach.order.len(), 3);
+        let c_id = ix
+            .fns
+            .iter()
+            .position(|&(_, d)| files[0].summary.fns[d].name == "c")
+            .unwrap();
+        let chain = reach.chain(c_id);
+        assert_eq!(chain_names(&ix, &chain), "a → b → c");
+    }
+}

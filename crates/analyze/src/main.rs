@@ -1,50 +1,58 @@
 //! The `es-analyze` command-line interface.
 //!
 //! ```text
-//! es-analyze --workspace [--json] [--strict] [--list-rules]
+//! es-analyze [--workspace] [--json] [--strict]
+//!            [--cache PATH] [--telemetry-keys PATH]
 //! es-analyze [--as-crate NAME] [--json] [--strict] PATH...
 //! ```
 //!
-//! `--workspace` walks up from the current directory to the workspace
-//! root (the `Cargo.toml` with a `[workspace]` table) and analyzes
-//! every `.rs` file. Explicit `PATH`s analyze individual files —
-//! useful for fixtures and editor integration; `--as-crate` overrides
-//! crate attribution so scoped rules apply. Exit status: 0 when no
-//! active findings, 1 when findings remain, 2 on usage or I/O errors.
+//! With no paths, the workspace is analyzed (walking up from the
+//! current directory to the `Cargo.toml` with a `[workspace]` table) —
+//! `--workspace` makes that explicit. Explicit `PATH`s analyze
+//! individual files — useful for fixtures and editor integration;
+//! `--as-crate` overrides crate attribution so scoped rules apply.
+//! `--cache PATH` enables the incremental phase-1 cache (see
+//! `es_analyze::cache`); `--telemetry-keys PATH` writes the workspace
+//! telemetry key inventory. Exit status: 0 when no active findings,
+//! 1 when findings remain, 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use es_analyze::{analyze_file, analyze_workspace, rules, walker, Report};
+use es_analyze::{analyze_file, analyze_workspace_full, passes, rules, walker, Report};
 
 struct Opts {
-    workspace: bool,
     json: bool,
     strict: bool,
     list_rules: bool,
     as_crate: Option<String>,
+    cache: Option<PathBuf>,
+    telemetry_keys: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> &'static str {
-    "usage: es-analyze --workspace [--json] [--strict]\n\
+    "usage: es-analyze [--workspace] [--json] [--strict] [--cache PATH] [--telemetry-keys PATH]\n\
      \x20      es-analyze [--as-crate NAME] [--json] [--strict] PATH...\n\
      \x20      es-analyze --list-rules"
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
-        workspace: false,
         json: false,
         strict: false,
         list_rules: false,
         as_crate: None,
+        cache: None,
+        telemetry_keys: None,
         paths: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workspace" => opts.workspace = true,
+            // Workspace mode is the no-paths default; the flag is
+            // accepted for explicitness and old scripts.
+            "--workspace" => {}
             "--json" => opts.json = true,
             "--strict" => opts.strict = true,
             "--list-rules" => opts.list_rules = true,
@@ -55,13 +63,22 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                         .clone(),
                 );
             }
+            "--cache" => {
+                opts.cache = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache needs a path".to_string())?,
+                ));
+            }
+            "--telemetry-keys" => {
+                opts.telemetry_keys =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        "--telemetry-keys needs a path".to_string()
+                    })?));
+            }
             "-h" | "--help" => return Err(usage().to_string()),
             p if !p.starts_with('-') => opts.paths.push(PathBuf::from(p)),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
-    }
-    if !opts.list_rules && !opts.workspace && opts.paths.is_empty() {
-        return Err(usage().to_string());
     }
     Ok(opts)
 }
@@ -87,11 +104,18 @@ fn analyze_paths(opts: &Opts) -> std::io::Result<Report> {
     let mut findings = Vec::new();
     let mut scanned = 0usize;
     for path in &opts.paths {
-        let rel = path.display().to_string().replace('\\', "/");
-        let mut file = walker::attribute(path.clone(), rel);
-        if let Some(krate) = &opts.as_crate {
-            file.krate = krate.clone();
-        }
+        // `--as-crate net` analyzes the file as if it lived in
+        // `crates/net/src/` — crate-scoped rules apply and the file
+        // counts as library code for the semantic passes (the fixture
+        // harness depends on both).
+        let rel = match &opts.as_crate {
+            Some(krate) => format!(
+                "crates/{krate}/src/{}",
+                path.file_name().unwrap_or_default().to_string_lossy()
+            ),
+            None => path.display().to_string().replace('\\', "/"),
+        };
+        let file = walker::attribute(path.clone(), rel);
         findings.extend(analyze_file(&file)?);
         scanned += 1;
     }
@@ -103,6 +127,32 @@ fn analyze_paths(opts: &Opts) -> std::io::Result<Report> {
         files_scanned: scanned,
         findings,
     })
+}
+
+/// Renders the telemetry key inventory as deterministic JSON, sorted
+/// by (component, name).
+fn inventory_json(inv: &[passes::KeyEntry]) -> String {
+    use es_analyze::jsonio::Value;
+    let keys = Value::Arr(
+        inv.iter()
+            .map(|k| {
+                Value::Obj(vec![
+                    ("component".into(), Value::Str(k.component.clone())),
+                    ("name".into(), Value::Str(k.name.clone())),
+                    ("kind".into(), Value::Str(k.kind().to_string())),
+                    ("writers".into(), Value::Num(k.writers as f64)),
+                    ("readers".into(), Value::Num(k.readers as f64)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::Obj(vec![
+        ("schema_version".into(), Value::Num(1.0)),
+        ("keys".into(), keys),
+    ]);
+    let mut text = doc.to_json();
+    text.push('\n');
+    text
 }
 
 fn main() -> ExitCode {
@@ -117,18 +167,32 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for rule in rules::all() {
-            println!("{:<16} {}", rule.id, rule.summary);
+            println!("{:<20} {}", rule.id, rule.summary);
+        }
+        for pass in passes::all() {
+            println!("{:<20} {}", pass.id, pass.summary);
         }
         return ExitCode::SUCCESS;
     }
 
-    let report = if opts.workspace {
+    let report = if opts.paths.is_empty() {
         let Some(root) = find_workspace_root() else {
             eprintln!("es-analyze: no workspace Cargo.toml above the current directory");
             return ExitCode::from(2);
         };
-        match analyze_workspace(&root) {
-            Ok(r) => r,
+        match analyze_workspace_full(&root, opts.cache.as_deref()) {
+            Ok((report, inventory)) => {
+                if let Some(path) = &opts.telemetry_keys {
+                    if let Some(parent) = path.parent() {
+                        let _ = std::fs::create_dir_all(parent);
+                    }
+                    if let Err(e) = std::fs::write(path, inventory_json(&inventory)) {
+                        eprintln!("es-analyze: writing {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+                report
+            }
             Err(e) => {
                 eprintln!("es-analyze: {e}");
                 return ExitCode::from(2);
@@ -165,16 +229,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_rejects_unknown_flags_and_empty_input() {
+    fn parse_rejects_unknown_flags_and_defaults_to_workspace() {
         assert!(parse_args(&["--bogus".to_string()]).is_err());
-        assert!(parse_args(&[]).is_err());
+        // No arguments = workspace mode (the gate's `-- --strict`
+        // invocation relies on this).
+        let o = parse_args(&[]).unwrap();
+        assert!(o.paths.is_empty());
         let o = parse_args(&[
             "--workspace".to_string(),
             "--json".to_string(),
             "--strict".to_string(),
         ])
         .unwrap();
-        assert!(o.workspace && o.json && o.strict);
+        assert!(o.json && o.strict);
     }
 
     #[test]
@@ -187,5 +254,25 @@ mod tests {
         .unwrap();
         assert_eq!(o.as_crate.as_deref(), Some("net"));
         assert_eq!(o.paths, vec![PathBuf::from("tests/fixtures/x.rs")]);
+    }
+
+    #[test]
+    fn parse_cache_and_telemetry_paths() {
+        let o = parse_args(&[
+            "--cache".to_string(),
+            "results/analyze-cache.json".to_string(),
+            "--telemetry-keys".to_string(),
+            "results/telemetry-keys.json".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(
+            o.cache.as_deref(),
+            Some(std::path::Path::new("results/analyze-cache.json"))
+        );
+        assert_eq!(
+            o.telemetry_keys.as_deref(),
+            Some(std::path::Path::new("results/telemetry-keys.json"))
+        );
+        assert!(parse_args(&["--cache".to_string()]).is_err());
     }
 }

@@ -7,6 +7,11 @@
 
 use crate::Finding;
 
+/// Version of the JSON report shape. Bumped with PR 10's semantic
+/// passes so archived `results/analyze.json` files are comparable
+/// across PRs: consumers check `schema_version` before diffing.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// A completed analysis run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -74,6 +79,11 @@ impl Report {
     /// the human rendering.
     pub fn json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str(&format!(
+            "  \"rules\": {},\n",
+            crate::rules::all().len() + crate::passes::all().len()
+        ));
         out.push_str(&format!("  \"root\": {},\n", json_str(&self.root)));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"active\": {},\n", self.active_count()));
@@ -165,6 +175,11 @@ mod tests {
     #[test]
     fn json_always_counts_allowed_and_escapes() {
         let j = sample().json();
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(j.contains(&format!(
+            "\"rules\": {}",
+            crate::rules::all().len() + crate::passes::all().len()
+        )));
         assert!(j.contains("\"active\": 1"));
         assert!(j.contains("\"allowed\": 1"));
         assert!(j.contains("bad \\\"clock\\\""));

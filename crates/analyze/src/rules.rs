@@ -110,7 +110,7 @@ pub fn all() -> Vec<Rule> {
 /// uses this so a typoed suppression fails instead of silently
 /// suppressing nothing.
 pub fn is_registered(id: &str) -> bool {
-    all().iter().any(|r| r.id == id)
+    all().iter().any(|r| r.id == id) || crate::passes::is_registered(id)
 }
 
 /// Files where reading the wall clock is the *point*: the live
@@ -279,8 +279,9 @@ fn unsafe_audit(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
 /// The public spec/builder convention: `ChannelSpec`, `SpeakerSpec`,
 /// `SessionSpec` (and any future `*Spec`) name their builder methods
 /// after the field they set — `epsilon(..)`, not `with_epsilon(..)`.
-/// A `with_*` method inside an `impl ...Spec` block is a finding
-/// unless it carries `#[deprecated]` (the one-release compat aliases).
+/// Any `with_*` method inside an `impl ...Spec` block is a finding.
+/// The `#[deprecated]` compat-alias exception expired with the
+/// one-release migration window; the aliases themselves are gone.
 fn spec_builder_naming(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
     let t = ctx.tokens;
     let mut out = Vec::new();
@@ -325,23 +326,15 @@ fn spec_builder_naming(ctx: &FileCtx<'_>) -> Vec<RawFinding> {
                 if !name.starts_with("with_") {
                     continue;
                 }
-                // The deprecated compat aliases are the sanctioned
-                // exception; `#[deprecated ...]` precedes the fn.
-                let lookback = i.saturating_sub(16);
-                let deprecated = t[lookback..i]
-                    .iter()
-                    .any(|tok| matches!(tok, Token::Ident { text: a, .. } if a == "deprecated"));
-                if !deprecated {
-                    out.push(RawFinding {
-                        line: *line,
-                        message: format!(
-                            "`{name}` on a *Spec type breaks the bare-field builder \
-                             convention (`{}`); rename it, keeping a #[deprecated] \
-                             alias for one release if it was public",
-                            &name["with_".len()..]
-                        ),
-                    });
-                }
+                out.push(RawFinding {
+                    line: *line,
+                    message: format!(
+                        "`{name}` on a *Spec type breaks the bare-field builder \
+                         convention (`{}`); rename it — the deprecated-alias \
+                         migration window has closed",
+                        &name["with_".len()..]
+                    ),
+                });
             }
             _ => {}
         }
@@ -633,12 +626,16 @@ mod tests {
             run_on("crates/core/src/builder.rs", bad),
             vec![("spec-builder-naming".to_string(), 1)]
         );
-        // The deprecated alias is the sanctioned exception.
+        // The deprecated-alias escape hatch has expired: an alias
+        // still fires even with the attribute.
         let alias = "impl SpeakerSpec {\n\
                      #[deprecated(since = \"0.1.0\", note = \"renamed\")]\n\
                      pub fn with_volume(self, v: f64) -> Self { self.volume(v) }\n\
                      }";
-        assert!(run_on("crates/core/src/builder.rs", alias).is_empty());
+        assert_eq!(
+            run_on("crates/core/src/builder.rs", alias),
+            vec![("spec-builder-naming".to_string(), 3)]
+        );
         // Bare-name builders are the convention.
         let good = "impl ChannelSpec { pub fn volume(mut self, v: f64) -> Self { self } }";
         assert!(run_on("crates/core/src/builder.rs", good).is_empty());

@@ -1,0 +1,20 @@
+//! Negative fixture: the reachable allocation carries a reasoned
+//! `es-allow(hot-path-transitive)` pragma at the allocation site,
+//! which sanctions it for every path that reaches it. No active
+//! findings.
+
+pub fn decode(frame: &[u8]) {
+    // es-hot-path
+    step(frame.len());
+    // es-hot-path-end
+}
+
+pub fn step(n: usize) {
+    deeper(n);
+}
+
+pub fn deeper(n: usize) {
+    // es-allow(hot-path-transitive): one-time scratch build at construction, reused afterwards
+    let mut scratch = Vec::new();
+    scratch.push(n);
+}

@@ -1,0 +1,19 @@
+//! Positive fixture: a hot-path region calls a helper whose callee
+//! allocates outside any hot region of its own — the pass must walk
+//! the chain and flag the region call site. Expect one
+//! `hot-path-transitive` finding at the `step(..)` call.
+
+pub fn decode(frame: &[u8]) {
+    // es-hot-path
+    step(frame.len());
+    // es-hot-path-end
+}
+
+pub fn step(n: usize) {
+    deeper(n);
+}
+
+pub fn deeper(n: usize) {
+    let mut scratch = Vec::new();
+    scratch.push(n);
+}

@@ -1,0 +1,15 @@
+//! Positive fixture: a function reachable from a hot-path region
+//! unwraps — lane code must not be able to panic. Expect one grouped
+//! `panic-path` finding on `step`, anchored at its first `.unwrap()`.
+
+pub fn decode(frame: &[u8]) {
+    // es-hot-path
+    step(frame);
+    // es-hot-path-end
+}
+
+pub fn step(frame: &[u8]) -> u8 {
+    let first = frame.first().unwrap();
+    let last = frame.last().unwrap();
+    first + last
+}

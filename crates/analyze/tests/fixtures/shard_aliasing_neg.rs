@@ -1,0 +1,10 @@
+//! Negative fixture: per-lane effects flow through a ShardBuffer the
+//! deterministic merge replays in submission order. No findings.
+
+pub fn stage(input: Frame) -> fleet::Job {
+    Box::new(move || {
+        let mut shard = ShardBuffer::new(0);
+        let result = decode_one(&input, &mut shard);
+        Box::new((result, shard)) as Box<dyn Any + Send>
+    }) as fleet::Job
+}

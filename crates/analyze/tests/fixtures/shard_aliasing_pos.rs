@@ -1,0 +1,11 @@
+//! Positive fixture: a fleet job closure mutates captured state
+//! directly instead of routing it through a ShardBuffer — the merge
+//! never sees it and lane count changes the observable order. Expect
+//! one `shard-aliasing` finding at the mutation.
+
+pub fn stage(counter: Shared<Stats>) -> fleet::Job {
+    Box::new(move || {
+        counter.borrow_mut().frames += 1;
+        Box::new(()) as Box<dyn Any + Send>
+    }) as fleet::Job
+}

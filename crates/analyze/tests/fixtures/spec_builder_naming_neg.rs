@@ -1,5 +1,4 @@
-//! Negative fixture: bare-name builders are the convention; a
-//! `#[deprecated]` alias is the sanctioned one-release exception; and
+//! Negative fixture: bare-name builders are the convention, and
 //! `with_*` on non-Spec types is out of this rule's scope.
 
 pub struct WidgetSpec {
@@ -10,11 +9,6 @@ impl WidgetSpec {
     pub fn volume(mut self, volume: f64) -> Self {
         self.volume = volume;
         self
-    }
-
-    #[deprecated(since = "0.1.0", note = "renamed to `volume`")]
-    pub fn with_volume(self, volume: f64) -> Self {
-        self.volume(volume)
     }
 }
 

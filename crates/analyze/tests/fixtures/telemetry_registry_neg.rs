@@ -1,0 +1,15 @@
+//! Negative fixture: every (component, name) key keeps one kind
+//! across all its writers and readers. No findings; the keys land in
+//! the inventory.
+
+pub fn record_send(reg: &mut Registry) {
+    reg.component("net").counter("frames_sent", 1);
+}
+
+pub fn record_queue(reg: &mut Registry) {
+    reg.component("net").gauge("queue_depth", 3.0);
+}
+
+pub fn probe(m: &Metrics) -> Option<u64> {
+    m.counter("net/lan0/frames_sent")
+}

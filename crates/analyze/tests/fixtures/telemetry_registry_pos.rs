@@ -1,0 +1,16 @@
+//! Positive fixture: the same telemetry key is recorded as a counter
+//! in one place and a gauge in another — mixed kinds corrupt the
+//! shard merge. Expect one `telemetry-registry` finding at the
+//! minority-kind site.
+
+pub fn record_send(reg: &mut Registry) {
+    reg.component("net").counter("fanout", 1);
+}
+
+pub fn record_resend(reg: &mut Registry) {
+    reg.component("net").counter("fanout", 1);
+}
+
+pub fn record_level(reg: &mut Registry) {
+    reg.component("net").gauge("fanout", 2.0);
+}

@@ -1,11 +1,22 @@
-//! Self-test: every registered rule is exercised by a positive and a
-//! negative fixture, both through the library API and through the
-//! compiled CLI (exit codes, `--strict`, `--json`).
+//! Self-test: every registered rule *and semantic pass* is exercised
+//! by a positive and a negative fixture, both through the library API
+//! and through the compiled CLI (exit codes, `--strict`, `--json`).
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use es_analyze::{analyze_source, rules, walker};
+use es_analyze::{analyze_source, passes, rules, walker};
+
+/// Every check id: the lexical rules plus the phase-2 passes. The
+/// fixture convention is identical for both because `analyze_source`
+/// runs the passes over a one-file workspace.
+fn all_check_ids() -> Vec<String> {
+    rules::all()
+        .iter()
+        .map(|r| r.id.to_string())
+        .chain(passes::all().iter().map(|p| p.id.to_string()))
+        .collect()
+}
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -34,13 +45,12 @@ fn analyze_fixture(path: &Path) -> Vec<es_analyze::Finding> {
 
 #[test]
 fn every_rule_has_both_fixtures() {
-    for rule in rules::all() {
+    for id in all_check_ids() {
         for positive in [true, false] {
-            let p = fixture_path(rule.id, positive);
+            let p = fixture_path(&id, positive);
             assert!(
                 p.is_file(),
-                "rule `{}` is missing fixture {}",
-                rule.id,
+                "rule `{id}` is missing fixture {}",
                 p.display()
             );
         }
@@ -49,29 +59,27 @@ fn every_rule_has_both_fixtures() {
 
 #[test]
 fn positive_fixtures_fire_their_rule() {
-    for rule in rules::all() {
-        let findings = analyze_fixture(&fixture_path(rule.id, true));
+    for id in all_check_ids() {
+        let findings = analyze_fixture(&fixture_path(&id, true));
         let active: Vec<_> = findings
             .iter()
-            .filter(|f| !f.allowed && f.rule == rule.id)
+            .filter(|f| !f.allowed && f.rule == id)
             .collect();
         assert!(
             !active.is_empty(),
-            "positive fixture for `{}` produced no active finding of that rule; got {findings:?}",
-            rule.id
+            "positive fixture for `{id}` produced no active finding of that rule; got {findings:?}"
         );
     }
 }
 
 #[test]
 fn negative_fixtures_are_clean() {
-    for rule in rules::all() {
-        let findings = analyze_fixture(&fixture_path(rule.id, false));
+    for id in all_check_ids() {
+        let findings = analyze_fixture(&fixture_path(&id, false));
         let active: Vec<_> = findings.iter().filter(|f| !f.allowed).collect();
         assert!(
             active.is_empty(),
-            "negative fixture for `{}` has active findings: {active:?}",
-            rule.id
+            "negative fixture for `{id}` has active findings: {active:?}"
         );
     }
 }
@@ -102,8 +110,8 @@ fn run_cli(args: &[&str]) -> (i32, String, String) {
 
 #[test]
 fn cli_exits_nonzero_on_each_positive_fixture_and_zero_on_negatives() {
-    for rule in rules::all() {
-        let pos = fixture_path(rule.id, true);
+    for id in all_check_ids() {
+        let pos = fixture_path(&id, true);
         let (code, stdout, _) = run_cli(&["--as-crate", "net", pos.to_str().unwrap()]);
         assert_eq!(
             code,
@@ -111,9 +119,9 @@ fn cli_exits_nonzero_on_each_positive_fixture_and_zero_on_negatives() {
             "expected exit 1 for {}; stdout:\n{stdout}",
             pos.display()
         );
-        assert!(stdout.contains(&format!("[{}]", rule.id)));
+        assert!(stdout.contains(&format!("[{id}]")));
 
-        let neg = fixture_path(rule.id, false);
+        let neg = fixture_path(&id, false);
         let (code, stdout, _) = run_cli(&["--as-crate", "net", neg.to_str().unwrap()]);
         assert_eq!(
             code,
@@ -152,20 +160,18 @@ fn cli_strict_lists_suppressions_and_json_counts_them() {
 fn cli_list_rules_names_every_rule() {
     let (code, stdout, _) = run_cli(&["--list-rules"]);
     assert_eq!(code, 0);
-    for rule in rules::all() {
-        assert!(
-            stdout.contains(rule.id),
-            "missing {} in:\n{stdout}",
-            rule.id
-        );
+    for id in all_check_ids() {
+        assert!(stdout.contains(&id), "missing {id} in:\n{stdout}");
     }
 }
 
 #[test]
 fn cli_usage_error_is_exit_two() {
-    let (code, _, stderr) = run_cli(&[]);
+    // A bare invocation is workspace mode now, not a usage error —
+    // only malformed flags earn exit 2.
+    let (code, _, stderr) = run_cli(&["--bogus-flag"]);
     assert_eq!(code, 2);
     assert!(stderr.contains("usage"));
-    let (code, _, _) = run_cli(&["--bogus-flag"]);
-    assert_eq!(code, 2);
+    let (code, _, _) = run_cli(&["--cache"]);
+    assert_eq!(code, 2, "--cache without a path is a usage error");
 }

@@ -95,6 +95,7 @@ impl Mdct {
                     let theta = -core::f64::consts::PI * t as f64 / two_n as f64;
                     Complex32::new(theta.cos() as f32, theta.sin() as f32)
                 })
+                // es-allow(hot-path-transitive): one-time twiddle-table build at codec construction, not per-frame decode
                 .collect();
             let post: Vec<Complex32> = (0..n)
                 .map(|k| {
@@ -103,6 +104,7 @@ impl Mdct {
                         * (k as f64 + 0.5);
                     Complex32::new(theta.cos() as f32, theta.sin() as f32)
                 })
+                // es-allow(hot-path-transitive): one-time twiddle-table build at codec construction, not per-frame decode
                 .collect();
             Engine::Fft {
                 fft: Fft::new(two_n),
@@ -117,7 +119,9 @@ impl Mdct {
             n,
             cost_model,
             engine,
+            // es-allow(hot-path-transitive): scratch arenas sized once at construction and reused every frame
             freq: RefCell::new(vec![Complex32::ZERO; two_n]),
+            // es-allow(hot-path-transitive): scratch arenas sized once at construction and reused every frame
             asm: RefCell::new(vec![0.0; two_n]),
         }
     }
@@ -310,6 +314,7 @@ impl Mdct {
         out.resize(out_len, 0.0);
         let mut asm = self.asm.borrow_mut();
         for w in 0..windows {
+            // es-allow(panic-path): windows = coeffs.len()/n and out is resized to (windows-1)*n, so every slice range is in bounds
             self.inverse(&coeffs[w * n..(w + 1) * n], &mut asm);
             // Window w overlaps out[(w-1)*n..(w+1)*n]; the first
             // window's left half and the last window's right half fall

@@ -228,8 +228,7 @@ impl ChannelSpec {
 /// One speaker: where it listens and when it powers on.
 ///
 /// Builder methods use bare field names (`epsilon`, `volume`, …), the
-/// same convention as [`ChannelSpec`] and [`SessionSpec`]; the old
-/// `with_*` spellings remain as deprecated aliases for one release.
+/// same convention as [`ChannelSpec`] and [`SessionSpec`].
 pub struct SpeakerSpec {
     /// Speaker configuration.
     pub config: SpeakerConfig,
@@ -350,66 +349,6 @@ impl SpeakerSpec {
     pub fn cost_model(mut self, cost_model: CostModel) -> Self {
         self.config.cost_model = cost_model;
         self
-    }
-
-    /// Deprecated alias of [`Self::epsilon`].
-    #[deprecated(since = "0.1.0", note = "renamed to `epsilon`")]
-    pub fn with_epsilon(self, eps: SimDuration) -> Self {
-        self.epsilon(eps)
-    }
-
-    /// Deprecated alias of [`Self::auth_anchor`].
-    #[deprecated(since = "0.1.0", note = "renamed to `auth_anchor`")]
-    pub fn with_auth_anchor(self, anchor: [u8; 32]) -> Self {
-        self.auth_anchor(anchor)
-    }
-
-    /// Deprecated alias of [`Self::cpu`].
-    #[deprecated(since = "0.1.0", note = "renamed to `cpu`")]
-    pub fn with_cpu(self, cpu: Shared<SimCpu>) -> Self {
-        self.cpu(cpu)
-    }
-
-    /// Deprecated alias of [`Self::auto_volume`].
-    #[deprecated(since = "0.1.0", note = "renamed to `auto_volume`")]
-    pub fn with_auto_volume(self, avc: AutoVolumeConfig, profile: AmbientProfile) -> Self {
-        self.auto_volume(avc, profile)
-    }
-
-    /// Deprecated alias of [`Self::serial_pipeline`].
-    #[deprecated(since = "0.1.0", note = "renamed to `serial_pipeline`")]
-    pub fn with_serial_pipeline(self, queue_depth: usize) -> Self {
-        self.serial_pipeline(queue_depth)
-    }
-
-    /// Deprecated alias of [`Self::device_geometry`].
-    #[deprecated(since = "0.1.0", note = "renamed to `device_geometry`")]
-    pub fn with_device_geometry(self, ring_capacity: usize, block_ms: u64) -> Self {
-        self.device_geometry(ring_capacity, block_ms)
-    }
-
-    /// Deprecated alias of [`Self::volume`].
-    #[deprecated(since = "0.1.0", note = "renamed to `volume`")]
-    pub fn with_volume(self, volume: f64) -> Self {
-        self.volume(volume)
-    }
-
-    /// Deprecated alias of [`Self::asap_playback`].
-    #[deprecated(since = "0.1.0", note = "renamed to `asap_playback`")]
-    pub fn with_asap_playback(self) -> Self {
-        self.asap_playback()
-    }
-
-    /// Deprecated alias of [`Self::loss_concealment`].
-    #[deprecated(since = "0.1.0", note = "renamed to `loss_concealment`")]
-    pub fn with_loss_concealment(self) -> Self {
-        self.loss_concealment()
-    }
-
-    /// Deprecated alias of [`Self::cost_model`].
-    #[deprecated(since = "0.1.0", note = "renamed to `cost_model`")]
-    pub fn with_cost_model(self, cost_model: CostModel) -> Self {
-        self.cost_model(cost_model)
     }
 }
 
@@ -1222,18 +1161,6 @@ mod tests {
             .speaker(SpeakerSpec::negotiated("es1", "jazz"))
             .try_build());
         assert!(e.to_string().contains("unknown channel"), "{e}");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_aliases_still_work() {
-        let spec = SpeakerSpec::new("es1", McastGroup(1))
-            .with_epsilon(SimDuration::from_millis(3))
-            .with_volume(0.5)
-            .with_loss_concealment();
-        assert_eq!(spec.config.epsilon, SimDuration::from_millis(3));
-        assert_eq!(spec.config.volume, 0.5);
-        assert!(spec.config.conceal_loss);
     }
 
     #[test]

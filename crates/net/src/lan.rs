@@ -422,6 +422,7 @@ impl Lan {
 
     /// The host's display name.
     pub fn node_name(&self, node: NodeId) -> String {
+        // es-allow(panic-path): NodeIds are issued densely by join() and never outlive the LAN that minted them
         self.inner.borrow().nodes[node.0 as usize].name.clone()
     }
 
@@ -664,6 +665,7 @@ impl Lan {
             let ser = SimDuration::for_bytes_at_rate(wire_bytes as u64, config.bandwidth_bps);
             let done = match config.medium {
                 MediumMode::Switched => {
+                    // es-allow(panic-path): sender and receiver ids are join()-issued dense indices into nodes
                     let node = &mut inner.nodes[from.0 as usize];
                     let start = sim.now().max(node.link_busy_until);
                     let done = start + ser;
@@ -682,8 +684,10 @@ impl Lan {
             let receivers: Vec<u32> = match dst {
                 Dest::Unicast(NodeId(n)) => {
                     if (n as usize) < inner.nodes.len() {
+                        // es-allow(hot-path-transitive): per-datagram receiver-set bookkeeping in the simulator, not lane DSP
                         vec![n]
                     } else {
+                        // es-allow(hot-path-transitive): per-datagram receiver-set bookkeeping in the simulator, not lane DSP
                         Vec::new()
                     }
                 }
@@ -693,6 +697,7 @@ impl Lan {
                     .enumerate()
                     .filter(|&(i, node)| i as u32 != from.0 && node.groups.contains(&group))
                     .map(|(i, _)| i as u32)
+                    // es-allow(hot-path-transitive): per-datagram receiver-set bookkeeping in the simulator, not lane DSP
                     .collect(),
             };
 
@@ -847,6 +852,7 @@ impl Lan {
         // batch executes in its receivers' segment: segments are fixed
         // topology labels, so the same events — with the same sequence
         // numbers — are created at every shard count.
+        // es-allow(hot-path-transitive): per-datagram delivery batching in the simulator, costed by the sim model, not lane DSP
         let mut batches: Vec<(SimTime, u32, Vec<u32>)> = Vec::new();
         let mut index: std::collections::BTreeMap<(SimTime, u32), usize> =
             std::collections::BTreeMap::new();
@@ -857,12 +863,14 @@ impl Lan {
                 receivers
                     .iter()
                     .map(|&(r, _)| inner.nodes[r as usize].segment)
+                    // es-allow(hot-path-transitive): per-datagram delivery batching in the simulator, not lane DSP
                     .collect(),
             )
         };
         for (&(r, offset), &seg) in receivers.iter().zip(&segments) {
             let at = deliver_at_base + offset;
             let i = *index.entry((at, seg)).or_insert_with(|| {
+                // es-allow(hot-path-transitive): per-datagram delivery batching in the simulator, not lane DSP
                 batches.push((at, seg, Vec::new()));
                 batches.len() - 1
             });
@@ -889,9 +897,12 @@ impl Lan {
     fn deliver_batch(&self, sim: &mut Sim, rs: &[u32], dg: Datagram) {
         // Phase 1: collect prepare jobs. The preparer is taken out of
         // its slot for the call so it may itself borrow the LAN.
+        // es-allow(hot-path-transitive): per-batch job staging on the simulation thread, costed by the sim model
         let mut jobs: Vec<PrepareJob> = Vec::new();
+        // es-allow(hot-path-transitive): per-batch job staging on the simulation thread, costed by the sim model
         let mut job_of: Vec<Option<usize>> = vec![None; rs.len()];
         for (i, &r) in rs.iter().enumerate() {
+            // es-allow(panic-path): receiver ids come from the validated receiver set; job_of/rx_of_job are sized to rs/jobs above
             let preparer = self.inner.borrow_mut().nodes[r as usize].preparer.take();
             if let Some(p) = preparer {
                 if let Some(job) = p(&dg) {
@@ -919,6 +930,7 @@ impl Lan {
             result: Box<dyn Any + Send>,
         }
         // Receiver index owning each job (job_of's inverse).
+        // es-allow(hot-path-transitive): per-batch job staging on the simulation thread, costed by the sim model
         let mut rx_of_job: Vec<usize> = vec![0; jobs.len()];
         for (i, j) in job_of.iter().enumerate() {
             if let Some(j) = j {
@@ -935,6 +947,7 @@ impl Lan {
                     Box::new(LanePrepared { shard, result }) as Box<dyn Any + Send>
                 }) as fleet::Job
             })
+            // es-allow(hot-path-transitive): per-batch job staging on the simulation thread, costed by the sim model
             .collect();
         let journal = self.inner.borrow().journal.clone();
         let scratch_journal;
@@ -954,6 +967,7 @@ impl Lan {
         fleet::run_batch_each(fleet_jobs, |j, boxed| {
             let p = boxed
                 .downcast::<LanePrepared>()
+                // es-allow(panic-path): every job built in this fn boxes a LanePrepared; the downcast cannot fail
                 .expect("lane jobs wrap LanePrepared");
             drain.offer(p.shard);
             let r = rs[rx_of_job[j]];
@@ -981,6 +995,7 @@ impl Lan {
     /// later, unrelated delivery.
     fn run_handler(&self, sim: &mut Sim, r: u32, dg: &Datagram) {
         // Take the handler out so it can borrow the LAN itself.
+        // es-allow(panic-path): r is a join()-issued dense index into nodes
         let handler = self.inner.borrow_mut().nodes[r as usize].handler.take();
         if let Some(mut h) = handler {
             self.inner.borrow_mut().stats.datagrams_delivered += 1;

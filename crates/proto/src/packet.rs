@@ -217,6 +217,7 @@ fn get_config(buf: &mut impl Buf) -> Result<AudioConfig, WireError> {
 /// encoders compute the checksum over their own region only, so a
 /// caller may serialize into a buffer that already holds other bytes.
 fn finish_into(buf: &mut BytesMut, start: usize) {
+    // es-allow(panic-path): start is a caller-recorded len() of this very buffer, which only grows afterwards
     let crc = crc32(&buf[start..]);
     buf.put_u32_le(crc);
 }

@@ -67,6 +67,7 @@ static POOL: OnceLock<Mutex<PoolState>> = OnceLock::new();
 fn pool() -> &'static Mutex<PoolState> {
     POOL.get_or_init(|| {
         Mutex::new(PoolState {
+            // es-allow(hot-path-transitive): pool bootstrap runs once per process via OnceLock
             workers: Vec::new(),
             built_for: 1,
         })
@@ -131,6 +132,7 @@ impl FleetTiming {
     /// lane has a real core under it.
     pub fn span_ns(&self, lanes: usize) -> u64 {
         let lanes = lanes.max(1);
+        // es-allow(hot-path-transitive): span accounting runs in post-run reporting, not in the lane loop
         let mut busy = vec![0u64; lanes];
         let mut span = 0u64;
         for batch in &self.batches {
@@ -204,6 +206,7 @@ fn ensure_pool(state: &mut PoolState, want: usize) {
         let _ = w.handle.join();
     }
     if want > 1 {
+        // es-allow(hot-path-transitive): worker (re)spawn happens only when the lane count changes
         state.workers = (1..want).map(spawn_worker).collect();
     }
     state.built_for = want;
@@ -231,6 +234,7 @@ fn flush_ready(
     sink: &mut impl FnMut(usize, Box<dyn Any + Send>),
 ) {
     while *next < staged.len() {
+        // es-allow(panic-path): next < staged.len() is the loop condition one line up
         let Some(r) = staged[*next].take() else { break };
         match r {
             Ok(v) => {
@@ -293,6 +297,7 @@ pub fn run_batch_each(jobs: Vec<Job>, mut sink: impl FnMut(usize, Box<dyn Any + 
 
     let total = jobs.len();
     let (res_tx, res_rx) = channel::<(usize, ThreadResult, u64)>();
+    // es-allow(hot-path-transitive): per-batch executor staging, amortized across the batch's jobs
     let mut local: Vec<(usize, Job)> = Vec::new();
     let mut remote = 0usize;
     for (i, job) in jobs.into_iter().enumerate() {
@@ -300,16 +305,20 @@ pub fn run_batch_each(jobs: Vec<Job>, mut sink: impl FnMut(usize, Box<dyn Any + 
         if lane == 0 {
             local.push((i, job));
         } else {
+            // es-allow(panic-path): lane is 1..n here and ensure_pool built exactly n-1 workers; job_ns/staged are sized to total
             state.workers[lane - 1]
                 .tx
                 .send((i, job, res_tx.clone()))
+                // es-allow(panic-path): a dead worker lane is unrecoverable — failing the batch loudly is the intended behavior
                 .expect("fleet worker hung up");
             remote += 1;
         }
     }
     drop(res_tx);
 
+    // es-allow(hot-path-transitive): per-batch executor staging, amortized across the batch's jobs
     let mut job_ns = vec![0u64; total];
+    // es-allow(hot-path-transitive): per-batch executor staging, amortized across the batch's jobs
     let mut staged: Vec<Option<ThreadResult>> = (0..total).map(|_| None).collect();
     let mut next = 0usize;
     let mut panic: Option<Box<dyn Any + Send>> = None;

@@ -227,6 +227,7 @@ fn lane_decode(
         let (_, c) = engines
             .iter()
             .find(|(m, _)| *m == model)
+            // es-allow(panic-path): the branch above inserts the model if absent, so find() always succeeds
             .expect("just inserted");
         let mut out = take_sample_buf();
         match c.decode_into(codec, bytes, channels, &mut out) {
@@ -1124,6 +1125,7 @@ impl EthernetSpeaker {
     /// A blocking `write(2)`: short writes park the player thread on
     /// the device's writable wakeup.
     fn serial_write_bytes(&self, sim: &mut Sim, bytes: Vec<u8>, offset: usize, cfg: AudioConfig) {
+        // es-allow(panic-path): offset only advances by accepted byte counts and re-arming checks next < bytes.len()
         let n = self.dev.write(sim, &bytes[offset..]).unwrap_or(0);
         {
             let mut st = self.state.borrow_mut();

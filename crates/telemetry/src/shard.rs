@@ -36,6 +36,7 @@ impl ShardBuffer {
         ShardBuffer {
             shard,
             registry: Registry::new(),
+            // es-allow(hot-path-transitive): one buffer per lane job; stays empty unless the lane records telemetry
             events: Vec::new(),
         }
     }
@@ -77,6 +78,7 @@ impl ShardBuffer {
             fields: fields
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
+                // es-allow(hot-path-transitive): shard journal events record faults (resync, drops), not steady-state frames
                 .collect(),
         });
     }
@@ -171,6 +173,7 @@ impl<'a> ShardDrain<'a> {
                 .fields
                 .iter()
                 .map(|(k, v)| (k.as_str(), v.clone()))
+                // es-allow(hot-path-transitive): merge replays buffered fault events post-batch, not steady-state frames
                 .collect();
             self.journal
                 .emit(ev.stamp, ev.severity, &ev.component, &ev.message, &fields);

@@ -85,6 +85,7 @@ impl AudioRing {
     /// blocks/retries for the rest).
     pub fn write(&mut self, data: &[u8]) -> usize {
         let n = data.len().min(self.free());
+        // es-allow(panic-path): n is clamped to data.len() so the slice never overruns
         self.buf.extend(&data[..n]);
         self.total_written += n as u64;
         n
@@ -97,6 +98,7 @@ impl AudioRing {
     /// the VAD path, which must not invent data (§2.1.1 vs §3.3).
     pub fn take_block(&mut self, fill_silence: bool) -> Option<Vec<u8>> {
         if self.buf.len() >= self.blocksize {
+            // es-allow(hot-path-transitive): ownership handoff of one block per trigger, amortized over blocksize samples
             let block: Vec<u8> = self.buf.drain(..self.blocksize).collect();
             self.total_consumed += self.blocksize as u64;
             return Some(block);
@@ -106,6 +108,7 @@ impl AudioRing {
         }
         // Partial data padded with silence.
         let have = self.buf.len();
+        // es-allow(hot-path-transitive): underrun branch only — silence padding is already off the steady-state path
         let mut block: Vec<u8> = self.buf.drain(..).collect();
         block.resize(self.blocksize, 0);
         self.total_consumed += have as u64;

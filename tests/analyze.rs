@@ -1,11 +1,12 @@
 //! The static-analysis gate, enforced from inside the test suite: the
-//! live workspace must carry zero active es-analyze findings, every
-//! suppression must be reasoned, and the analyzer must stay fast
-//! enough to run before everything else in `scripts/check.sh`.
+//! live workspace must carry zero active es-analyze findings (lexical
+//! rules and semantic passes alike), every suppression must be
+//! reasoned, and the analyzer must stay fast enough to run before
+//! everything else in `scripts/check.sh`.
 
 use std::path::Path;
 
-use es_analyze::{analyze_workspace, rules};
+use es_analyze::{analyze_workspace, analyze_workspace_cached, passes, rules};
 
 fn workspace_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -53,10 +54,22 @@ fn registry_covers_the_advertised_rules() {
         "hash-iter-order",
         "telemetry-key",
         "unsafe-audit",
+        "spec-builder-naming",
     ] {
         assert!(ids.contains(&required), "rule `{required}` missing");
     }
     assert!(ids.len() >= 5);
+    // The phase-2 semantic passes are part of the advertised surface
+    // too — DESIGN.md §8 documents all four.
+    let pass_ids: Vec<&str> = passes::all().iter().map(|p| p.id).collect();
+    for required in [
+        "hot-path-transitive",
+        "panic-path",
+        "telemetry-registry",
+        "shard-aliasing",
+    ] {
+        assert!(pass_ids.contains(&required), "pass `{required}` missing");
+    }
 }
 
 #[test]
@@ -71,4 +84,36 @@ fn analyzer_is_cheap_enough_for_the_gate() {
         elapsed < std::time::Duration::from_secs(5),
         "es-analyze took {elapsed:?} on the workspace; the gate budget is 5s"
     );
+}
+
+#[test]
+fn warm_cache_agrees_with_cold_and_invalidates_on_edit() {
+    let dir = std::env::temp_dir().join(format!("es-analyze-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache = dir.join("cache.json");
+
+    // Cold run populates the cache; warm run must reproduce the exact
+    // same findings from it.
+    let cold = analyze_workspace_cached(workspace_root(), Some(&cache)).expect("cold cached run");
+    assert!(cache.is_file(), "cold run did not write the cache");
+    let warm = analyze_workspace_cached(workspace_root(), Some(&cache)).expect("warm cached run");
+    assert_eq!(
+        cold.findings, warm.findings,
+        "warm-cache findings disagree with the cold run"
+    );
+
+    // A stale hash must force re-analysis, not resurrect the cached
+    // findings: corrupt one entry's hash and plant a bogus finding
+    // under it, then verify the next run reports none of it.
+    let text = std::fs::read_to_string(&cache).expect("read cache");
+    let corrupted = text.replacen("\"hash\":\"", "\"hash\":\"dead", 1);
+    assert_ne!(text, corrupted, "no hash field found to corrupt");
+    std::fs::write(&cache, corrupted).expect("rewrite cache");
+    let reval = analyze_workspace_cached(workspace_root(), Some(&cache)).expect("revalidated run");
+    assert_eq!(
+        cold.findings, reval.findings,
+        "hash-invalidated entry was not re-analyzed from source"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
